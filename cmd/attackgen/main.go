@@ -1,0 +1,75 @@
+// Command attackgen renders power-virus utilization traces — the dense
+// and sparse spike trains of the paper's Figure 12, or a custom shape —
+// as time,utilization CSV.
+//
+// Usage:
+//
+//	attackgen -scenario dense -profile CPU -duration 4m
+//	attackgen -width 2s -per-min 3 -profile IO
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/virus"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "", "canned scenario: dense or sparse (overrides width/per-min)")
+		profile  = flag.String("profile", "CPU", "virus profile: CPU, Mem, IO")
+		width    = flag.Duration("width", time.Second, "spike width")
+		perMin   = flag.Float64("per-min", 4, "spikes per minute")
+		rest     = flag.Float64("rest", 0.3, "between-spike utilization")
+		duration = flag.Duration("duration", 4*time.Minute, "trace length")
+		step     = flag.Duration("step", 100*time.Millisecond, "sample step")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	prof, err := virus.ProfileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	scen := virus.Scenario{
+		Name:            "Custom",
+		SpikeWidth:      *width,
+		SpikesPerMinute: *perMin,
+		RestFraction:    *rest,
+	}
+	switch *scenario {
+	case "dense":
+		scen = virus.DenseAttack
+	case "sparse":
+		scen = virus.SparseAttack
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown scenario %q (want dense or sparse)", *scenario))
+	}
+
+	series := scen.UtilizationTrace(prof, *duration, *step, *seed)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(w, "# %s attack, %s virus, width %v, %.3g/min\n",
+		scen.Name, prof.Name, scen.SpikeWidth, scen.SpikesPerMinute)
+	fmt.Fprintln(w, "seconds,utilization")
+	for i, v := range series.Values {
+		fmt.Fprintf(w, "%.1f,%.4f\n", float64(i)*step.Seconds(), v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "attackgen:", err)
+	os.Exit(1)
+}

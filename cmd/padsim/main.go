@@ -1,0 +1,245 @@
+// Command padsim runs one power-attack simulation: a battery-backed
+// cluster under a two-phase power virus, managed by one of the six
+// evaluated schemes, and prints survival time, overload counts and
+// throughput.
+//
+// Usage:
+//
+//	padsim -scheme PAD -racks 22 -duration 30m -attack-nodes 4 \
+//	       -profile CPU -spike-width 4s -spikes-per-min 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/virus"
+)
+
+func main() {
+	var (
+		schemeName  = flag.String("scheme", "PAD", "power management scheme: Conv, PS, PSPC, uDEB, vDEB, PAD")
+		racks       = flag.Int("racks", 22, "number of racks")
+		spr         = flag.Int("servers-per-rack", 10, "servers per rack")
+		duration    = flag.Duration("duration", 30*time.Minute, "simulated time span")
+		tick        = flag.Duration("tick", 100*time.Millisecond, "simulation step")
+		ratio       = flag.Float64("oversubscription", 0.75, "PDU budget as a fraction of total nameplate")
+		tolerance   = flag.Float64("overshoot", 0.08, "tolerated overload fraction above budget")
+		bgMean      = flag.Float64("background", 0.55, "mean background CPU utilization")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		attackNodes = flag.Int("attack-nodes", 4, "number of compromised servers (0 disables the attack)")
+		profileName = flag.String("profile", "CPU", "virus profile: CPU, Mem, IO")
+		spikeWidth  = flag.Duration("spike-width", 4*time.Second, "Phase-II spike width")
+		spikesPM    = flag.Float64("spikes-per-min", 6, "Phase-II spike frequency")
+		microFrac   = flag.Float64("micro-fraction", 0.01, "μDEB energy as a fraction of the rack battery (uDEB/PAD)")
+		stopOnTrip  = flag.Bool("stop-on-trip", true, "end the run at the first breaker trip")
+		compare     = flag.Bool("compare", false, "run all six schemes and chart their survival")
+		chart       = flag.Bool("chart", false, "plot the cluster feed draw and mean battery SOC over the run")
+	)
+	flag.Parse()
+
+	cfg := sim.Config{
+		Racks:                 *racks,
+		ServersPerRack:        *spr,
+		Duration:              *duration,
+		Tick:                  *tick,
+		OversubscriptionRatio: *ratio,
+		OvershootTolerance:    *tolerance,
+		Background:            noisyBackground(*racks**spr, *bgMean, *duration, *seed),
+		StopOnTrip:            *stopOnTrip,
+	}
+	if *attackNodes > 0 {
+		prof, err := virus.ProfileByName(*profileName)
+		if err != nil {
+			fatal(err)
+		}
+		servers := make([]int, *attackNodes)
+		for i := range servers {
+			servers[i] = i
+		}
+		atk, err := virus.New(virus.Config{
+			Profile:         prof,
+			SpikeWidth:      *spikeWidth,
+			SpikesPerMinute: *spikesPM,
+			Seed:            *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Attack = &sim.AttackSpec{Servers: servers, Attack: atk}
+	}
+
+	opts := schemes.Options{ServersPerRack: *spr}
+	if *compare {
+		runComparison(cfg, opts, *microFrac)
+		return
+	}
+	var scheme sim.Scheme
+	switch *schemeName {
+	case "Conv":
+		scheme = schemes.NewConv(opts)
+	case "PS":
+		scheme = schemes.NewPS(opts)
+	case "PSPC":
+		scheme = schemes.NewPSPC(opts)
+	case "uDEB":
+		scheme = schemes.NewUDEB(opts)
+	case "vDEB":
+		scheme = schemes.NewVDEB(opts)
+	case "PAD":
+		scheme = schemes.NewPAD(opts)
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
+	}
+	if *schemeName == "uDEB" || *schemeName == "PAD" {
+		cfg.MicroDEBFactory = microFactory(*microFrac)
+	}
+
+	if *chart {
+		cfg.Record = true
+		cfg.RecordStep = cfg.Duration / 72
+		if cfg.RecordStep < cfg.Tick {
+			cfg.RecordStep = cfg.Tick
+		}
+	}
+	res, err := sim.Run(cfg, scheme)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scheme:            %s\n", res.Scheme)
+	fmt.Printf("survival time:     %v", res.SurvivalTime)
+	if !res.Tripped {
+		fmt.Printf(" (no breaker trip within the horizon)")
+	} else if res.FirstTripRack >= 0 {
+		fmt.Printf(" (rack %d feed tripped)", res.FirstTripRack)
+	} else {
+		fmt.Printf(" (cluster PDU tripped)")
+	}
+	fmt.Println()
+	fmt.Printf("effective attacks: %d\n", res.EffectiveAttacks)
+	fmt.Printf("throughput:        %.4f\n", res.Throughput)
+	fmt.Printf("mean shed ratio:   %.4f\n", res.MeanShedRatio)
+	fmt.Printf("battery energy:    %v\n", res.EnergyFromBatteries)
+	fmt.Printf("μDEB energy:       %v\n", res.EnergyFromMicro)
+	if *chart && res.Recording != nil {
+		fmt.Println()
+		renderTimeline(res.Recording)
+	}
+}
+
+// renderTimeline plots the cluster feed draw and the fleet-mean battery
+// SOC over the run.
+func renderTimeline(rec *sim.Recording) {
+	meanSOC := make([]float64, 0, rec.TotalGrid.Len())
+	for i := 0; i < rec.TotalGrid.Len(); i++ {
+		sum := 0.0
+		for _, s := range rec.RackSOC {
+			sum += s.Values[i]
+		}
+		meanSOC = append(meanSOC, sum/float64(len(rec.RackSOC))*100)
+	}
+	grid := &report.LineChart{
+		Title:  "Cluster feed draw (W) over the run",
+		Series: []report.ChartSeries{{Name: "grid draw", Values: rec.TotalGrid.Values}},
+	}
+	if err := grid.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	soc := &report.LineChart{
+		Title:  "Fleet-mean battery SOC (%) over the run",
+		YMin:   0,
+		YMax:   100,
+		Series: []report.ChartSeries{{Name: "mean SOC", Values: meanSOC}},
+	}
+	if err := soc.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "padsim:", err)
+	os.Exit(1)
+}
+
+// runComparison executes the same scenario under all six schemes and
+// prints a survival bar chart.
+func runComparison(base sim.Config, opts schemes.Options, microFrac float64) {
+	type entry struct {
+		name  string
+		mk    func() sim.Scheme
+		micro bool
+	}
+	entries := []entry{
+		{"Conv", func() sim.Scheme { return schemes.NewConv(opts) }, false},
+		{"PS", func() sim.Scheme { return schemes.NewPS(opts) }, false},
+		{"PSPC", func() sim.Scheme { return schemes.NewPSPC(opts) }, false},
+		{"uDEB", func() sim.Scheme { return schemes.NewUDEB(opts) }, true},
+		{"vDEB", func() sim.Scheme { return schemes.NewVDEB(opts) }, false},
+		{"PAD", func() sim.Scheme { return schemes.NewPAD(opts) }, true},
+	}
+	chart := &report.BarChart{Title: "Survival time (s) under this scenario"}
+	for _, e := range entries {
+		cfg := base
+		if e.micro {
+			cfg.MicroDEBFactory = microFactory(microFrac)
+		}
+		res, err := sim.Run(cfg, e.mk())
+		if err != nil {
+			fatal(err)
+		}
+		label := e.name
+		if !res.Tripped {
+			label += " (no trip)"
+		}
+		chart.Bars = append(chart.Bars, report.Bar{Label: label, Value: res.SurvivalTime.Seconds()})
+	}
+	if err := chart.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func noisyBackground(servers int, mean float64, horizon time.Duration, seed uint64) []*stats.Series {
+	rng := stats.NewRNG(seed)
+	const step = 10 * time.Second
+	n := int(horizon/step) + 2
+	out := make([]*stats.Series, servers)
+	for i := range out {
+		r := rng.Split(uint64(i))
+		s := stats.NewSeries(step)
+		wander := 0.0
+		for k := 0; k < n; k++ {
+			wander = 0.9*wander + r.Norm(0, 0.02)
+			u := mean + wander
+			if u < 0.05 {
+				u = 0.05
+			}
+			if u > 0.98 {
+				u = 0.98
+			}
+			s.Append(u)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func microFactory(fraction float64) func(nameplate, budget units.Watts) *core.MicroDEB {
+	return func(nameplate, budget units.Watts) *core.MicroDEB {
+		cap_ := battery.SizeForAutonomy(nameplate, battery.RackCabinetAutonomy, 0, 0)
+		bank := battery.NewMicroDEB(units.Joules(float64(cap_)*fraction), nameplate)
+		u, err := core.NewMicroDEB(bank, budget)
+		if err != nil {
+			panic(err)
+		}
+		return u
+	}
+}

@@ -1,0 +1,65 @@
+// Attack preparation: before a single watt can be abused, the attacker
+// must land VMs on the victim rack (§3.1 of the paper — the Ristenpart
+// co-residency game). This example measures the up-front cost of that
+// step: probe VMs launched (and dollars burned at on-demand prices) to
+// assemble a four-server squad, across cloud scheduling policies, cluster
+// occupancy levels and co-residency-oracle accuracy. Anything that makes
+// this phase expensive or unreliable is already a defense.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	padsec "repro"
+)
+
+const (
+	trials      = 25
+	perProbeUSD = 0.05 // one billing minimum per probe VM
+)
+
+func main() {
+	fmt.Println("Co-residency hunt: probes to land 4 servers on one rack")
+	fmt.Println("(22 racks x 10 servers x 4 VM slots, averaged over 25 campaigns)")
+	fmt.Println()
+	fmt.Printf("%-8s %-10s %-9s %-12s %-10s %s\n",
+		"policy", "occupancy", "oracle", "mean probes", "cost($)", "misplaced squad VMs")
+
+	for _, policy := range []padsec.PlacementPolicy{
+		padsec.PackLowestID, padsec.SpreadLeastLoaded, padsec.RandomFit,
+	} {
+		for _, occ := range []float64{0.4, 0.7} {
+			for _, oracle := range []float64{0.95, 0.7} {
+				probes, misplaced := campaign(policy, occ, oracle)
+				fmt.Printf("%-8s %-10s %-9s %-12.1f $%-9.2f %.2f\n",
+					policy,
+					fmt.Sprintf("%.0f%%", occ*100),
+					fmt.Sprintf("%.0f%%", oracle*100),
+					probes, probes*perProbeUSD, misplaced)
+			}
+		}
+	}
+	fmt.Println("\nA spread scheduler, a busy cluster and a noisy side channel all")
+	fmt.Println("multiply the attacker's bill before the power attack even begins —")
+	fmt.Println("and misplaced squad members weaken the eventual rack overload.")
+}
+
+func campaign(policy padsec.PlacementPolicy, occupancy, oracle float64) (meanProbes, meanMisplaced float64) {
+	var probes, misplaced int
+	for trial := 0; trial < trials; trial++ {
+		res, err := padsec.RunCampaign(padsec.CampaignConfig{
+			Policy:         policy,
+			Occupancy:      occupancy,
+			OracleAccuracy: oracle,
+			TargetRack:     -1,
+			Seed:           uint64(trial)*977 + 13,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		probes += res.Probes
+		misplaced += res.MisidentifiedKept
+	}
+	return float64(probes) / trials, float64(misplaced) / trials
+}

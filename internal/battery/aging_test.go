@@ -1,0 +1,156 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func newAgingUnderTest(t *testing.T, cfg AgingConfig) *Aging {
+	t.Helper()
+	inner := MustKiBaM(KiBaMConfig{Capacity: 72000, MaxDischarge: 1e6, MaxCharge: 1e6})
+	a, err := NewAging(inner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAgingValidation(t *testing.T) {
+	if _, err := NewAging(nil, AgingConfig{}); err == nil {
+		t.Error("nil inner should fail")
+	}
+	inner := MustKiBaM(KiBaMConfig{Capacity: 1000})
+	if _, err := NewAging(inner, AgingConfig{CycleLife: 0.5}); err == nil {
+		t.Error("cycle life < 1 should fail")
+	}
+	if _, err := NewAging(inner, AgingConfig{RatedDoD: 1.5}); err == nil {
+		t.Error("DoD > 1 should fail")
+	}
+}
+
+func TestAgingFreshBattery(t *testing.T) {
+	a := newAgingUnderTest(t, AgingConfig{})
+	if a.WearFraction() != 0 {
+		t.Fatalf("fresh wear = %v", a.WearFraction())
+	}
+	if a.HealthFactor() != 1 {
+		t.Fatalf("fresh health = %v", a.HealthFactor())
+	}
+	if a.Capacity() != 72000 {
+		t.Fatalf("fresh capacity = %v", a.Capacity())
+	}
+}
+
+func TestAgingAccumulatesWithCycles(t *testing.T) {
+	a := newAgingUnderTest(t, AgingConfig{CycleLife: 100, RatedDoD: 0.5})
+	// One shallow half-cycle: discharge ~20% of capacity, recharge.
+	for a.SOC() > 0.8 {
+		a.Discharge(1000, time.Second)
+	}
+	w1 := a.WearFraction()
+	if w1 <= 0 {
+		t.Fatal("discharge accrued no wear")
+	}
+	for a.SOC() < 0.99 {
+		a.Charge(1000, time.Second)
+	}
+	// Charging accrues no additional wear in this model.
+	if a.WearFraction() != w1 {
+		t.Fatal("charging should not add wear")
+	}
+	if got := a.EquivalentFullCycles(); got <= 0 {
+		t.Fatalf("equivalent cycles = %v", got)
+	}
+}
+
+func TestAgingDeepDischargeStress(t *testing.T) {
+	shallow := newAgingUnderTest(t, AgingConfig{CycleLife: 100, RatedDoD: 0.5})
+	deep := newAgingUnderTest(t, AgingConfig{CycleLife: 100, RatedDoD: 0.5})
+	// Equal energy throughput, different depth: shallow stays inside the
+	// rated 50% DoD band, deep spends much of its time below it where the
+	// stress factor exceeds 1.
+	// Shallow: 7 cycles of 100%→90%.
+	for i := 0; i < 7; i++ {
+		for shallow.SOC() > 0.9 {
+			shallow.Discharge(500, time.Second)
+		}
+		for shallow.SOC() < 0.999 {
+			shallow.Charge(2000, time.Second)
+		}
+	}
+	// Deep: one excursion 100%→30% (same total energy out).
+	for deep.SOC() > 0.3 {
+		deep.Discharge(500, time.Second)
+	}
+	if deep.WearFraction() <= shallow.WearFraction() {
+		t.Fatalf("deep discharge (%v) should wear at least as much as shallow (%v)",
+			deep.WearFraction(), shallow.WearFraction())
+	}
+}
+
+func TestAgingCapacityFade(t *testing.T) {
+	a := newAgingUnderTest(t, AgingConfig{CycleLife: 2, RatedDoD: 1}) // tiny life
+	// Burn through most of the lifetime throughput.
+	for cycle := 0; cycle < 2; cycle++ {
+		for a.SOC() > 0.05 {
+			if a.Discharge(2000, time.Second) == 0 {
+				break
+			}
+		}
+		for a.SOC() < 0.95 {
+			a.Charge(2000, time.Second)
+		}
+	}
+	if a.HealthFactor() > 0.95 {
+		t.Fatalf("health barely moved after full lifetime: %v", a.HealthFactor())
+	}
+	if a.HealthFactor() < 0.8-1e-9 {
+		t.Fatalf("health fell below the 0.8 end-of-life floor: %v", a.HealthFactor())
+	}
+	if a.Capacity() >= 72000 {
+		t.Fatal("capacity did not fade")
+	}
+	// Deliverable is derated too.
+	fresh := newAgingUnderTest(t, AgingConfig{})
+	if a.Deliverable(time.Second) >= fresh.Deliverable(time.Second) {
+		t.Fatal("worn battery should deliver less")
+	}
+}
+
+func TestAgingWearBounded(t *testing.T) {
+	a := newAgingUnderTest(t, AgingConfig{CycleLife: 1, RatedDoD: 0.2})
+	for i := 0; i < 50; i++ {
+		for a.SOC() > 0.05 {
+			if a.Discharge(5000, time.Second) == 0 {
+				break
+			}
+		}
+		for a.SOC() < 0.95 {
+			a.Charge(5000, time.Second)
+		}
+	}
+	if w := a.WearFraction(); w != 1 {
+		t.Fatalf("wear should clamp at 1, got %v", w)
+	}
+	if h := a.HealthFactor(); math.Abs(h-0.8) > 1e-9 {
+		t.Fatalf("end-of-life health = %v, want 0.8", h)
+	}
+}
+
+func TestAgingPassThroughs(t *testing.T) {
+	a := newAgingUnderTest(t, AgingConfig{})
+	if a.MaxDischarge() != a.Inner().MaxDischarge() {
+		t.Error("MaxDischarge pass-through wrong")
+	}
+	if a.MaxCharge() != a.Inner().MaxCharge() {
+		t.Error("MaxCharge pass-through wrong")
+	}
+	a.Idle(time.Minute)
+	if a.SOC() > 1 {
+		t.Error("idle corrupted SOC")
+	}
+}
+
+// Aging satisfies Store.
+var _ Store = (*Aging)(nil)

@@ -1,0 +1,322 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/units"
+)
+
+// KiBaM is the kinetic battery model (Manwell & McGowan) the paper uses
+// for charge/discharge accounting. The charge is split across two wells:
+// an available well (fraction c of capacity) that supplies the load
+// directly, and a bound well (fraction 1−c) that feeds the available well
+// at a rate governed by the constant k. The model reproduces the two
+// lead-acid effects that matter for power-attack analysis:
+//
+//   - the rate-capacity effect: sustained high-rate discharge exhausts the
+//     available well long before the nominal capacity is spent, and
+//   - the recovery effect: a rested battery regains deliverable charge as
+//     bound charge migrates back.
+//
+// State is kept in joules; power plays the role of current (constant bus
+// voltage).
+type KiBaM struct {
+	capacity units.Joules // total nominal capacity
+	c        float64      // available-well fraction, in (0, 1)
+	k        float64      // well-coupling rate constant, 1/s
+
+	y1, y2 float64 // available / bound charge, joules
+	leak   float64 // self-discharge rate, 1/s
+
+	maxDischarge units.Watts
+	maxCharge    units.Watts
+
+	statTracker
+}
+
+// KiBaMConfig parameterizes a KiBaM battery.
+type KiBaMConfig struct {
+	// Capacity is the nominal energy capacity.
+	Capacity units.Joules
+	// C is the available-well fraction. Lead-acid batteries are typically
+	// in the 0.2–0.7 range; 0 selects the default 0.62.
+	C float64
+	// K is the well-coupling rate constant in 1/s. 0 selects the default
+	// 4.5e-4 (≈1.6/hour), a common lead-acid fit.
+	K float64
+	// MaxDischarge is the rated maximum discharge power. 0 selects
+	// capacity/(300 s): the "85 W for 5 minutes from a 2 Ah cell" rating
+	// cited in the paper scaled to this capacity.
+	MaxDischarge units.Watts
+	// MaxCharge is the rated maximum charge power. 0 selects a C/5-hour
+	// charge rate.
+	MaxCharge units.Watts
+	// InitialSOC is the starting state of charge; 0 means full (1.0).
+	InitialSOC float64
+	// SelfDischargePerMonth is the fraction of stored charge lost per
+	// 30 days at rest (lead-acid loses ~3%/month). 0 disables the leak.
+	SelfDischargePerMonth float64
+}
+
+// Default KiBaM parameters (lead-acid fits from the KiBaM literature).
+const (
+	DefaultC = 0.62
+	DefaultK = 4.5e-4 // 1/s
+)
+
+// NewKiBaM constructs a battery from cfg, applying documented defaults.
+func NewKiBaM(cfg KiBaMConfig) (*KiBaM, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("battery: capacity must be positive, got %v", cfg.Capacity)
+	}
+	c := cfg.C
+	if c == 0 {
+		c = DefaultC
+	}
+	if c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("battery: well fraction c must be in (0,1), got %v", c)
+	}
+	k := cfg.K
+	if k == 0 {
+		k = DefaultK
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("battery: rate constant k must be positive, got %v", k)
+	}
+	maxD := cfg.MaxDischarge
+	if maxD == 0 {
+		maxD = units.Watts(float64(cfg.Capacity) / 300)
+	}
+	if maxD <= 0 {
+		return nil, fmt.Errorf("battery: max discharge must be positive, got %v", maxD)
+	}
+	maxC := cfg.MaxCharge
+	if maxC == 0 {
+		maxC = units.Watts(float64(cfg.Capacity) / (5 * 3600))
+	}
+	if maxC <= 0 {
+		return nil, fmt.Errorf("battery: max charge must be positive, got %v", maxC)
+	}
+	soc := cfg.InitialSOC
+	if soc == 0 {
+		soc = 1
+	}
+	if soc < 0 || soc > 1 {
+		return nil, fmt.Errorf("battery: initial SOC must be in [0,1], got %v", soc)
+	}
+	if cfg.SelfDischargePerMonth < 0 || cfg.SelfDischargePerMonth >= 1 {
+		return nil, fmt.Errorf("battery: self-discharge %v out of [0,1)", cfg.SelfDischargePerMonth)
+	}
+	leak := 0.0
+	if cfg.SelfDischargePerMonth > 0 {
+		// Convert the monthly fraction to a continuous rate (1/s).
+		leak = -math.Log(1-cfg.SelfDischargePerMonth) / (30 * 24 * 3600)
+	}
+	b := &KiBaM{
+		capacity:     cfg.Capacity,
+		c:            c,
+		k:            k,
+		maxDischarge: maxD,
+		maxCharge:    maxC,
+		leak:         leak,
+	}
+	b.y1 = c * float64(cfg.Capacity) * soc
+	b.y2 = (1 - c) * float64(cfg.Capacity) * soc
+	b.wasAbove = soc >= deepDischargeSOC
+	return b, nil
+}
+
+// MustKiBaM is NewKiBaM that panics on configuration error; for use in
+// presets and tests where the config is a literal.
+func MustKiBaM(cfg KiBaMConfig) *KiBaM {
+	b, err := NewKiBaM(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// step advances the wells by dt under constant external power p
+// (positive = discharge, negative = charge) using the closed-form KiBaM
+// solution for constant current.
+func (b *KiBaM) step(p float64, dt time.Duration) {
+	t := dt.Seconds()
+	if t <= 0 {
+		return
+	}
+	k := b.k
+	ekt := math.Exp(-k * t)
+	y0 := b.y1 + b.y2
+	c := b.c
+	// Manwell–McGowan closed form.
+	y1 := b.y1*ekt + (y0*k*c-p)*(1-ekt)/k - p*c*(k*t-1+ekt)/k
+	y2 := b.y2*ekt + y0*(1-c)*(1-ekt) - p*(1-c)*(k*t-1+ekt)/k
+	// Self-discharge leaks both wells.
+	if b.leak > 0 {
+		decay := math.Exp(-b.leak * t)
+		y1 *= decay
+		y2 *= decay
+	}
+	// Clamp tiny numerical excursions.
+	y1 = math.Max(0, math.Min(y1, c*float64(b.capacity)))
+	y2 = math.Max(0, math.Min(y2, (1-c)*float64(b.capacity)))
+	b.y1, b.y2 = y1, y2
+}
+
+// maxSustainable returns the largest constant discharge power the battery
+// can sustain for the whole step without the available well going
+// negative, ignoring the power rating.
+func (b *KiBaM) maxSustainable(dt time.Duration) float64 {
+	t := dt.Seconds()
+	if t <= 0 {
+		return 0
+	}
+	k := b.k
+	ekt := math.Exp(-k * t)
+	y0 := b.y1 + b.y2
+	c := b.c
+	// y1(t) = A − p·B with A, B >= 0; p_max solves y1(t) = 0.
+	a := b.y1*ekt + y0*k*c*(1-ekt)/k
+	bb := (1-ekt)/k + c*(k*t-1+ekt)/k
+	if bb <= 0 {
+		return 0
+	}
+	return a / bb
+}
+
+// Discharge implements Store.
+func (b *KiBaM) Discharge(req units.Watts, dt time.Duration) units.Watts {
+	if req <= 0 || dt <= 0 {
+		b.Idle(dt)
+		return 0
+	}
+	p := math.Min(float64(req), float64(b.maxDischarge))
+	p = math.Min(p, b.maxSustainable(dt))
+	if p <= 0 {
+		b.Idle(dt)
+		return 0
+	}
+	b.step(p, dt)
+	got := units.Watts(p)
+	b.recordOut(got, dt, b.SOC())
+	return got
+}
+
+// Charge implements Store.
+func (b *KiBaM) Charge(offered units.Watts, dt time.Duration) units.Watts {
+	if offered <= 0 || dt <= 0 {
+		b.Idle(dt)
+		return 0
+	}
+	p := math.Min(float64(offered), float64(b.maxCharge))
+	// Do not overfill: cap by the remaining headroom spread over the step.
+	headroom := float64(b.capacity) - (b.y1 + b.y2)
+	p = math.Min(p, headroom/dt.Seconds())
+	if p <= 0 {
+		b.Idle(dt)
+		return 0
+	}
+	b.step(-p, dt)
+	got := units.Watts(p)
+	b.recordIn(got, dt, b.SOC())
+	return got
+}
+
+// Deliverable implements Store: the lesser of the power rating and what
+// the available well can sustain for dt.
+func (b *KiBaM) Deliverable(dt time.Duration) units.Watts {
+	if dt <= 0 {
+		return 0
+	}
+	p := b.maxSustainable(dt)
+	if rated := float64(b.maxDischarge); p > rated {
+		p = rated
+	}
+	if p < 0 {
+		p = 0
+	}
+	return units.Watts(p)
+}
+
+// Idle implements Store.
+func (b *KiBaM) Idle(dt time.Duration) {
+	if dt > 0 {
+		b.step(0, dt)
+	}
+}
+
+// SOC implements Store.
+func (b *KiBaM) SOC() float64 {
+	return (b.y1 + b.y2) / float64(b.capacity)
+}
+
+// AvailableSOC returns the fill level of the available well alone, the
+// quantity an LVD device effectively senses through terminal voltage.
+func (b *KiBaM) AvailableSOC() float64 {
+	return b.y1 / (b.c * float64(b.capacity))
+}
+
+// Capacity implements Store.
+func (b *KiBaM) Capacity() units.Joules { return b.capacity }
+
+// MaxDischarge implements Store.
+func (b *KiBaM) MaxDischarge() units.Watts { return b.maxDischarge }
+
+// MaxCharge implements Store.
+func (b *KiBaM) MaxCharge() units.Watts { return b.maxCharge }
+
+// UsageStats returns the accumulated usage counters.
+func (b *KiBaM) UsageStats() Stats { return b.stats }
+
+// SizeForAutonomy returns the nominal capacity a KiBaM battery with the
+// given c and k (0 selects defaults) needs so that it sustains load for
+// exactly the autonomy duration starting from full charge. This is how
+// rack cabinets are sized from the paper's "50 s at full rack load" spec:
+// because of the rate-capacity effect the nominal capacity must exceed
+// load×autonomy.
+func SizeForAutonomy(load units.Watts, autonomy time.Duration, c, k float64) units.Joules {
+	if c == 0 {
+		c = DefaultC
+	}
+	if k == 0 {
+		k = DefaultK
+	}
+	if load <= 0 || autonomy <= 0 {
+		return 0
+	}
+	// Binary search on capacity: sustained time is monotone in capacity.
+	need := float64(load) * autonomy.Seconds()
+	lo, hi := need, need/c*2
+	sustains := func(cap_ float64) bool {
+		b := MustKiBaM(KiBaMConfig{
+			Capacity:     units.Joules(cap_),
+			C:            c,
+			K:            k,
+			MaxDischarge: load * 10, // rating out of the way
+		})
+		const tick = 100 * time.Millisecond
+		for elapsed := time.Duration(0); elapsed < autonomy; elapsed += tick {
+			if b.Discharge(load, tick) < load {
+				return false
+			}
+		}
+		return true
+	}
+	for !sustains(hi) {
+		hi *= 2
+		if hi > need*1e3 {
+			break
+		}
+	}
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if sustains(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return units.Joules(hi)
+}

@@ -1,0 +1,172 @@
+package battery
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Parallel composes several stores into one bank discharged and charged
+// side by side — the per-node battery deployment (Figure 3 option ❹),
+// where a rack's backup is ten small per-server units instead of one
+// cabinet. Requests are split proportionally to each unit's current
+// capability, so healthy units pick up slack for weak ones until the
+// weak units' LVDs isolate them.
+type Parallel struct {
+	units []Store
+}
+
+// NewParallel builds a parallel bank. At least one unit is required.
+func NewParallel(stores ...Store) (*Parallel, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("battery: parallel bank needs at least one unit")
+	}
+	for i, s := range stores {
+		if s == nil {
+			return nil, fmt.Errorf("battery: parallel unit %d is nil", i)
+		}
+	}
+	return &Parallel{units: stores}, nil
+}
+
+// Units reports the number of composed units.
+func (p *Parallel) Units() int { return len(p.units) }
+
+// Unit exposes one composed unit.
+func (p *Parallel) Unit(i int) Store { return p.units[i] }
+
+// Discharge implements Store: the request splits across units in
+// proportion to what each can deliver this tick.
+func (p *Parallel) Discharge(req units.Watts, dt time.Duration) units.Watts {
+	if req <= 0 || dt <= 0 {
+		p.Idle(dt)
+		return 0
+	}
+	caps := make([]units.Watts, len(p.units))
+	var total units.Watts
+	for i, u := range p.units {
+		caps[i] = u.Deliverable(dt)
+		total += caps[i]
+	}
+	if total <= 0 {
+		p.Idle(dt)
+		return 0
+	}
+	want := units.Min(req, total)
+	var got units.Watts
+	for i, u := range p.units {
+		share := units.Watts(float64(want) * float64(caps[i]) / float64(total))
+		if share <= 0 {
+			u.Idle(dt)
+			continue
+		}
+		got += u.Discharge(share, dt)
+	}
+	return got
+}
+
+// Charge implements Store: the offer splits across units in proportion to
+// their remaining headroom (emptier units charge faster).
+func (p *Parallel) Charge(offered units.Watts, dt time.Duration) units.Watts {
+	if offered <= 0 || dt <= 0 {
+		p.Idle(dt)
+		return 0
+	}
+	heads := make([]float64, len(p.units))
+	total := 0.0
+	for i, u := range p.units {
+		heads[i] = (1 - u.SOC()) * float64(u.Capacity())
+		total += heads[i]
+	}
+	if total <= 0 {
+		p.Idle(dt)
+		return 0
+	}
+	var got units.Watts
+	for i, u := range p.units {
+		share := units.Watts(float64(offered) * heads[i] / total)
+		if share <= 0 {
+			u.Idle(dt)
+			continue
+		}
+		got += u.Charge(share, dt)
+	}
+	return got
+}
+
+// Idle implements Store.
+func (p *Parallel) Idle(dt time.Duration) {
+	for _, u := range p.units {
+		u.Idle(dt)
+	}
+}
+
+// SOC implements Store: the capacity-weighted mean of the units.
+func (p *Parallel) SOC() float64 {
+	var stored, capTotal float64
+	for _, u := range p.units {
+		stored += u.SOC() * float64(u.Capacity())
+		capTotal += float64(u.Capacity())
+	}
+	if capTotal == 0 {
+		return 0
+	}
+	return stored / capTotal
+}
+
+// Capacity implements Store.
+func (p *Parallel) Capacity() units.Joules {
+	var total units.Joules
+	for _, u := range p.units {
+		total += u.Capacity()
+	}
+	return total
+}
+
+// MaxDischarge implements Store.
+func (p *Parallel) MaxDischarge() units.Watts {
+	var total units.Watts
+	for _, u := range p.units {
+		total += u.MaxDischarge()
+	}
+	return total
+}
+
+// MaxCharge implements Store.
+func (p *Parallel) MaxCharge() units.Watts {
+	var total units.Watts
+	for _, u := range p.units {
+		total += u.MaxCharge()
+	}
+	return total
+}
+
+// Deliverable implements Store.
+func (p *Parallel) Deliverable(dt time.Duration) units.Watts {
+	var total units.Watts
+	for _, u := range p.units {
+		total += u.Deliverable(dt)
+	}
+	return total
+}
+
+// NewPerNodeBank builds the per-node deployment for one rack: one small
+// LVD-protected battery per server, each sized to carry its server for
+// the rack autonomy, composed in parallel.
+func NewPerNodeBank(servers int, serverNameplate units.Watts) (*Parallel, error) {
+	if servers <= 0 {
+		return nil, fmt.Errorf("battery: per-node bank needs servers, got %d", servers)
+	}
+	stores := make([]Store, servers)
+	for i := range stores {
+		cap_ := SizeForAutonomy(serverNameplate, RackCabinetAutonomy, 0, 0)
+		b := MustKiBaM(KiBaMConfig{
+			Capacity:     cap_,
+			MaxDischarge: serverNameplate * 2,
+			MaxCharge:    units.Watts(float64(cap_) / 900),
+		})
+		stores[i] = NewLVD(b, 0.05, 0.20)
+	}
+	return NewParallel(stores...)
+}

@@ -1,0 +1,156 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func newParallelUnderTest(t *testing.T, n int, capEach units.Joules) *Parallel {
+	t.Helper()
+	stores := make([]Store, n)
+	for i := range stores {
+		stores[i] = MustKiBaM(KiBaMConfig{
+			Capacity:     capEach,
+			MaxDischarge: units.Watts(float64(capEach) / 50),
+			MaxCharge:    units.Watts(float64(capEach) / 900),
+		})
+	}
+	p, err := NewParallel(stores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParallelValidation(t *testing.T) {
+	if _, err := NewParallel(); err == nil {
+		t.Error("empty bank should fail")
+	}
+	if _, err := NewParallel(nil); err == nil {
+		t.Error("nil unit should fail")
+	}
+}
+
+func TestParallelAggregates(t *testing.T) {
+	p := newParallelUnderTest(t, 4, 10000)
+	if p.Capacity() != 40000 {
+		t.Fatalf("Capacity = %v", p.Capacity())
+	}
+	if p.Units() != 4 {
+		t.Fatalf("Units = %d", p.Units())
+	}
+	if p.MaxDischarge() != 800 {
+		t.Fatalf("MaxDischarge = %v", p.MaxDischarge())
+	}
+	if p.SOC() != 1 {
+		t.Fatalf("fresh SOC = %v", p.SOC())
+	}
+}
+
+func TestParallelDischargeSplitsEvenly(t *testing.T) {
+	p := newParallelUnderTest(t, 4, 10000)
+	got := p.Discharge(400, time.Second)
+	if math.Abs(float64(got-400)) > 1e-6 {
+		t.Fatalf("delivered %v, want 400", got)
+	}
+	// Identical units end at identical SOC.
+	ref := p.Unit(0).SOC()
+	for i := 1; i < 4; i++ {
+		if math.Abs(p.Unit(i).SOC()-ref) > 1e-9 {
+			t.Fatalf("uneven split: unit %d at %v vs %v", i, p.Unit(i).SOC(), ref)
+		}
+	}
+}
+
+func TestParallelHealthyUnitsCoverWeakOnes(t *testing.T) {
+	weak := MustKiBaM(KiBaMConfig{Capacity: 10000, InitialSOC: 0.05, MaxDischarge: 200})
+	strong := MustKiBaM(KiBaMConfig{Capacity: 10000, MaxDischarge: 200})
+	p, err := NewParallel(weak, strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over a sustained window the weak unit's available charge collapses
+	// and the strong one carries the difference.
+	for i := 0; i < 30; i++ {
+		if got := p.Discharge(150, time.Second); got < 149 {
+			t.Fatalf("bank delivered %v of 150 at second %d with a strong unit available", got, i)
+		}
+	}
+	if strong.UsageStats().EnergyOut <= weak.UsageStats().EnergyOut {
+		t.Fatalf("strong unit (%v) should carry more than the weak one (%v)",
+			strong.UsageStats().EnergyOut, weak.UsageStats().EnergyOut)
+	}
+}
+
+func TestParallelChargePrefersEmptyUnits(t *testing.T) {
+	empty := MustKiBaM(KiBaMConfig{Capacity: 10000, InitialSOC: 0.2, MaxCharge: 500})
+	full := MustKiBaM(KiBaMConfig{Capacity: 10000, InitialSOC: 0.9, MaxCharge: 500})
+	p, err := NewParallel(empty, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Charge(100, time.Minute)
+	if empty.UsageStats().EnergyIn <= full.UsageStats().EnergyIn {
+		t.Fatal("emptier unit should charge faster")
+	}
+}
+
+func TestParallelNeverOverDelivers(t *testing.T) {
+	p := newParallelUnderTest(t, 3, 3000)
+	var delivered float64
+	for i := 0; i < 10000; i++ {
+		delivered += float64(p.Discharge(10000, time.Second))
+		if p.Deliverable(time.Second) == 0 {
+			break
+		}
+	}
+	if delivered > 9000 {
+		t.Fatalf("bank delivered %v J from 9000 J nominal", delivered)
+	}
+}
+
+func TestParallelDegenerateRequests(t *testing.T) {
+	p := newParallelUnderTest(t, 2, 1000)
+	if p.Discharge(0, time.Second) != 0 || p.Discharge(-1, time.Second) != 0 {
+		t.Error("non-positive discharge should deliver 0")
+	}
+	if p.Charge(0, time.Second) != 0 || p.Charge(10, 0) != 0 {
+		t.Error("degenerate charge should accept 0")
+	}
+	p.Idle(time.Minute)
+}
+
+func TestParallelFullBankRejectsCharge(t *testing.T) {
+	p := newParallelUnderTest(t, 2, 1000)
+	if got := p.Charge(100, time.Second); got > 0 {
+		t.Fatalf("full bank accepted %v", got)
+	}
+}
+
+func TestPerNodeBank(t *testing.T) {
+	bank, err := NewPerNodeBank(10, 521)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bank.Units() != 10 {
+		t.Fatalf("units = %d", bank.Units())
+	}
+	// The bank must sustain the full rack load for the autonomy, like the
+	// monolithic cabinet.
+	const rackLoad = units.Watts(5210)
+	const tick = 100 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < RackCabinetAutonomy; elapsed += tick {
+		if got := bank.Discharge(rackLoad, tick); got < rackLoad*0.999 {
+			t.Fatalf("per-node bank failed at %v (delivered %v)", elapsed, got)
+		}
+	}
+	if _, err := NewPerNodeBank(0, 521); err == nil {
+		t.Error("zero servers should fail")
+	}
+}
+
+// Parallel satisfies Store.
+var _ Store = (*Parallel)(nil)

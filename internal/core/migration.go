@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Migrator plans Level-3 load migration, the alternative the paper names
+// alongside shedding: "trigger load migration from vulnerable racks to
+// dependable racks". It moves power (VM load) from racks whose demand
+// exceeds their budget — most vulnerable (lowest battery SOC) first —
+// onto racks with both budget headroom and healthy batteries.
+type Migrator struct {
+	// MaxMovePerRack bounds how much load may leave one rack in a single
+	// plan (migration bandwidth is finite).
+	MaxMovePerRack units.Watts
+	// HeadroomKeep is the fraction of a destination's headroom to leave
+	// untouched as safety margin. 0 selects 0.2.
+	HeadroomKeep float64
+}
+
+// NewMigrator builds a planner.
+func NewMigrator(maxMovePerRack units.Watts) (*Migrator, error) {
+	if maxMovePerRack <= 0 {
+		return nil, fmt.Errorf("core: max move per rack must be positive, got %v", maxMovePerRack)
+	}
+	return &Migrator{MaxMovePerRack: maxMovePerRack, HeadroomKeep: 0.2}, nil
+}
+
+// Move is one planned migration.
+type Move struct {
+	// From and To are rack indices.
+	From, To int
+	// Power is the load moved.
+	Power units.Watts
+}
+
+// RackLoad describes one rack for planning.
+type RackLoad struct {
+	// Demand is the rack's electrical demand.
+	Demand units.Watts
+	// Budget is its power budget.
+	Budget units.Watts
+	// SOC is its battery state of charge.
+	SOC float64
+}
+
+// Plan returns migrations that relieve over-budget racks using
+// under-budget racks' headroom. Sources are ordered most-vulnerable
+// first; destinations healthiest (highest SOC) first. Every move
+// satisfies:
+//
+//   - the source was over budget and is relieved by at most its excess
+//     (and at most MaxMovePerRack in total),
+//   - the destination stays under (1−HeadroomKeep) of its headroom.
+func (m *Migrator) Plan(racks []RackLoad) []Move {
+	type end struct {
+		idx    int
+		amount units.Watts
+	}
+	var sources, sinks []end
+	for i, r := range racks {
+		if excess := r.Demand - r.Budget; excess > 0 {
+			sources = append(sources, end{i, units.Min(excess, m.MaxMovePerRack)})
+		} else if head := r.Budget - r.Demand; head > 0 {
+			usable := units.Watts(float64(head) * (1 - m.headroomKeep()))
+			if usable > 0 {
+				sinks = append(sinks, end{i, usable})
+			}
+		}
+	}
+	sort.SliceStable(sources, func(a, b int) bool {
+		return racks[sources[a].idx].SOC < racks[sources[b].idx].SOC
+	})
+	sort.SliceStable(sinks, func(a, b int) bool {
+		return racks[sinks[a].idx].SOC > racks[sinks[b].idx].SOC
+	})
+	var moves []Move
+	si := 0
+	for _, src := range sources {
+		remaining := src.amount
+		for remaining > 0 && si < len(sinks) {
+			take := units.Min(remaining, sinks[si].amount)
+			if take > 0 {
+				moves = append(moves, Move{From: src.idx, To: sinks[si].idx, Power: take})
+				remaining -= take
+				sinks[si].amount -= take
+			}
+			if sinks[si].amount <= 0 {
+				si++
+			}
+		}
+		if si >= len(sinks) {
+			break
+		}
+	}
+	return moves
+}
+
+func (m *Migrator) headroomKeep() float64 {
+	if m.HeadroomKeep == 0 {
+		return 0.2
+	}
+	return m.HeadroomKeep
+}
+
+// Apply returns the per-rack demand after executing the moves (a helper
+// for planners and tests; the simulator applies moves through its own
+// load model).
+func Apply(racks []RackLoad, moves []Move) []units.Watts {
+	out := make([]units.Watts, len(racks))
+	for i, r := range racks {
+		out[i] = r.Demand
+	}
+	for _, mv := range moves {
+		if mv.From >= 0 && mv.From < len(out) && mv.To >= 0 && mv.To < len(out) {
+			out[mv.From] -= mv.Power
+			out[mv.To] += mv.Power
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func mustMigrator(t *testing.T, max units.Watts) *Migrator {
+	t.Helper()
+	m, err := NewMigrator(max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMigratorValidation(t *testing.T) {
+	if _, err := NewMigrator(0); err == nil {
+		t.Error("zero max move should fail")
+	}
+	if _, err := NewMigrator(-5); err == nil {
+		t.Error("negative max move should fail")
+	}
+}
+
+func TestPlanRelievesOverBudgetRack(t *testing.T) {
+	m := mustMigrator(t, 1000)
+	racks := []RackLoad{
+		{Demand: 4500, Budget: 4000, SOC: 0.1}, // vulnerable, 500 over
+		{Demand: 3000, Budget: 4000, SOC: 0.9}, // healthy sink
+	}
+	moves := m.Plan(racks)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v", moves)
+	}
+	if moves[0].From != 0 || moves[0].To != 1 || moves[0].Power != 500 {
+		t.Fatalf("move = %+v", moves[0])
+	}
+	after := Apply(racks, moves)
+	if after[0] != 4000 {
+		t.Fatalf("source after = %v, want at budget", after[0])
+	}
+	if after[1] != 3500 {
+		t.Fatalf("sink after = %v", after[1])
+	}
+}
+
+func TestPlanRespectsHeadroomKeep(t *testing.T) {
+	m := mustMigrator(t, 10_000)
+	racks := []RackLoad{
+		{Demand: 5000, Budget: 4000, SOC: 0.1}, // 1000 over
+		{Demand: 3900, Budget: 4000, SOC: 0.9}, // only 100 headroom; 80 usable
+	}
+	moves := m.Plan(racks)
+	var total units.Watts
+	for _, mv := range moves {
+		total += mv.Power
+	}
+	if total > 80+1e-9 {
+		t.Fatalf("moved %v, destination safety margin violated", total)
+	}
+}
+
+func TestPlanRespectsMaxMove(t *testing.T) {
+	m := mustMigrator(t, 300)
+	racks := []RackLoad{
+		{Demand: 5000, Budget: 4000, SOC: 0.1},
+		{Demand: 1000, Budget: 4000, SOC: 0.9},
+	}
+	moves := m.Plan(racks)
+	var fromZero units.Watts
+	for _, mv := range moves {
+		if mv.From == 0 {
+			fromZero += mv.Power
+		}
+	}
+	if fromZero > 300 {
+		t.Fatalf("moved %v off rack 0, cap is 300", fromZero)
+	}
+}
+
+func TestPlanVulnerableFirstAndHealthiestSink(t *testing.T) {
+	m := mustMigrator(t, 10_000)
+	racks := []RackLoad{
+		{Demand: 4100, Budget: 4000, SOC: 0.8},  // mildly over, healthy
+		{Demand: 4100, Budget: 4000, SOC: 0.05}, // mildly over, vulnerable
+		{Demand: 3990, Budget: 4000, SOC: 0.5},  // tiny sink
+		{Demand: 3000, Budget: 4000, SOC: 0.95}, // big healthy sink
+	}
+	moves := m.Plan(racks)
+	if len(moves) == 0 {
+		t.Fatal("no moves planned")
+	}
+	if moves[0].From != 1 {
+		t.Fatalf("first move should relieve the vulnerable rack, got %+v", moves[0])
+	}
+	if moves[0].To != 3 {
+		t.Fatalf("first move should use the healthiest sink, got %+v", moves[0])
+	}
+}
+
+func TestPlanSplitsAcrossSinks(t *testing.T) {
+	m := mustMigrator(t, 10_000)
+	racks := []RackLoad{
+		{Demand: 5000, Budget: 4000, SOC: 0.1},  // 1000 over
+		{Demand: 3500, Budget: 4000, SOC: 0.9},  // 400 usable
+		{Demand: 3500, Budget: 4000, SOC: 0.85}, // 400 usable
+	}
+	moves := m.Plan(racks)
+	if len(moves) != 2 {
+		t.Fatalf("want a split across two sinks, got %v", moves)
+	}
+	var total units.Watts
+	for _, mv := range moves {
+		total += mv.Power
+	}
+	if total != 800 {
+		t.Fatalf("moved %v, want all 800 of usable headroom", total)
+	}
+}
+
+func TestPlanNoMovesWhenBalanced(t *testing.T) {
+	m := mustMigrator(t, 1000)
+	racks := []RackLoad{
+		{Demand: 3500, Budget: 4000, SOC: 0.5},
+		{Demand: 3600, Budget: 4000, SOC: 0.6},
+	}
+	if moves := m.Plan(racks); len(moves) != 0 {
+		t.Fatalf("balanced cluster planned %v", moves)
+	}
+	if moves := m.Plan(nil); len(moves) != 0 {
+		t.Fatal("empty cluster planned moves")
+	}
+}
+
+func TestPlanPropertyConservationAndBounds(t *testing.T) {
+	m := mustMigrator(t, 500)
+	f := func(demRaw, socRaw []uint8) bool {
+		n := len(demRaw)
+		if n == 0 {
+			return true
+		}
+		if n > 16 {
+			n = 16
+		}
+		racks := make([]RackLoad, n)
+		for i := 0; i < n; i++ {
+			soc := 0.5
+			if len(socRaw) > 0 {
+				soc = float64(socRaw[i%len(socRaw)]) / 255
+			}
+			racks[i] = RackLoad{
+				Demand: units.Watts(3000 + 10*int(demRaw[i])),
+				Budget: 4000,
+				SOC:    soc,
+			}
+		}
+		moves := m.Plan(racks)
+		after := Apply(racks, moves)
+		var before, afterSum units.Watts
+		for i, r := range racks {
+			before += r.Demand
+			afterSum += after[i]
+			// No rack pushed over budget by inbound migration.
+			if after[i] > r.Demand && after[i] > r.Budget {
+				return false
+			}
+			// Sources never relieved below their budget.
+			if r.Demand > r.Budget && after[i] < r.Budget-1e-9 {
+				return false
+			}
+		}
+		// Load is conserved.
+		return afterSum-before < 1e-6 && before-afterSum < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyIgnoresOutOfRangeMoves(t *testing.T) {
+	racks := []RackLoad{{Demand: 100, Budget: 200}}
+	after := Apply(racks, []Move{{From: 5, To: 0, Power: 50}, {From: 0, To: -1, Power: 50}})
+	if after[0] != 100 {
+		t.Fatalf("out-of-range moves mutated demand: %v", after[0])
+	}
+}

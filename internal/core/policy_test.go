@@ -1,0 +1,119 @@
+package core
+
+import "testing"
+
+func TestInitialStateTable(t *testing.T) {
+	// Figure 9's initial-state table over (vDEB>0, μDEB>0, VP>0).
+	cases := []struct {
+		v, u   float64
+		vp     bool
+		strict bool
+		want   Level
+	}{
+		{0, 0, false, false, Level3}, // 000
+		{0, 0, true, false, Level3},  // 001
+		{0, 1, false, false, Level2}, // 010
+		{0, 1, true, false, Level3},  // 011
+		{1, 0, false, false, Level1}, // 100 lax
+		{1, 0, false, true, Level2},  // 100 strict
+		{1, 0, true, false, Level1},  // 101 lax
+		{1, 0, true, true, Level2},   // 101 strict
+		{1, 1, false, false, Level1}, // 110
+		{1, 1, true, false, Level1},  // 111
+	}
+	for _, c := range cases {
+		p := NewPolicy(c.strict, PolicyInputs{VDEBSOC: c.v, MicroSOC: c.u, VisiblePeak: c.vp})
+		if got := p.Level(); got != c.want {
+			t.Errorf("initial(v=%v u=%v vp=%v strict=%v) = %v, want %v",
+				c.v, c.u, c.vp, c.strict, got, c.want)
+		}
+	}
+}
+
+func TestTransitionL1ToL2OnVDEBEmpty(t *testing.T) {
+	p := NewPolicy(false, PolicyInputs{VDEBSOC: 1, MicroSOC: 1})
+	if got := p.Step(PolicyInputs{VDEBSOC: 0.5, MicroSOC: 1}); got != Level1 {
+		t.Fatalf("healthy pool should stay L1, got %v", got)
+	}
+	if got := p.Step(PolicyInputs{VDEBSOC: 0.04, MicroSOC: 1}); got != Level2 {
+		t.Fatalf("drained pool should move to L2, got %v", got)
+	}
+}
+
+func TestTransitionL2ToL3OnMicroEmpty(t *testing.T) {
+	p := NewPolicy(false, PolicyInputs{VDEBSOC: 0, MicroSOC: 1})
+	if p.Level() != Level2 {
+		t.Fatalf("setup: %v", p.Level())
+	}
+	if got := p.Step(PolicyInputs{VDEBSOC: 0, MicroSOC: 0.02}); got != Level3 {
+		t.Fatalf("drained μDEB should move to L3, got %v", got)
+	}
+}
+
+func TestTransitionL2BackToL1OnRecharge(t *testing.T) {
+	p := NewPolicy(false, PolicyInputs{VDEBSOC: 0, MicroSOC: 1})
+	// Recharged above hysteresis threshold.
+	if got := p.Step(PolicyInputs{VDEBSOC: 0.5, MicroSOC: 1}); got != Level1 {
+		t.Fatalf("recharged pool should return to L1, got %v", got)
+	}
+}
+
+func TestHysteresisPreventsChatter(t *testing.T) {
+	p := NewPolicy(false, PolicyInputs{VDEBSOC: 1, MicroSOC: 1})
+	p.Step(PolicyInputs{VDEBSOC: 0.03, MicroSOC: 1}) // → L2
+	// SOC wobbling in the hysteresis band (0.05, 0.30] keeps it at L2.
+	for _, soc := range []float64{0.10, 0.25, 0.07, 0.28} {
+		if got := p.Step(PolicyInputs{VDEBSOC: soc, MicroSOC: 1}); got != Level2 {
+			t.Fatalf("hysteresis band SOC %v moved level to %v", soc, got)
+		}
+	}
+}
+
+func TestL3RecoveryPath(t *testing.T) {
+	p := NewPolicy(false, PolicyInputs{VDEBSOC: 0, MicroSOC: 0})
+	if p.Level() != Level3 {
+		t.Fatalf("setup: %v", p.Level())
+	}
+	// μDEB recharged but vDEB still low: L3 → L2.
+	if got := p.Step(PolicyInputs{VDEBSOC: 0.1, MicroSOC: 0.9}); got != Level2 {
+		t.Fatalf("μDEB recharge should restore L2, got %v", got)
+	}
+	// Back down, then both recharged: straight to L1.
+	p.Step(PolicyInputs{VDEBSOC: 0.1, MicroSOC: 0.02}) // → L3
+	if got := p.Step(PolicyInputs{VDEBSOC: 0.9, MicroSOC: 0.9}); got != Level1 {
+		t.Fatalf("full recharge should restore L1, got %v", got)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Level1.String() != "L1-Normal" || Level2.String() != "L2-MinorIncident" ||
+		Level3.String() != "L3-Emergency" {
+		t.Error("level names wrong")
+	}
+	if Level(7).String() != "Level(7)" {
+		t.Error("unknown level formatting wrong")
+	}
+}
+
+func TestFullAttackLevelTrajectory(t *testing.T) {
+	// Simulate the level trajectory of a full two-phase attack: healthy →
+	// pool drained (L2) → μDEB drained (L3) → recharge (L2, then L1).
+	p := NewPolicy(false, PolicyInputs{VDEBSOC: 1, MicroSOC: 1})
+	seq := []struct {
+		in   PolicyInputs
+		want Level
+	}{
+		{PolicyInputs{VDEBSOC: 0.7, MicroSOC: 1, VisiblePeak: true}, Level1},
+		{PolicyInputs{VDEBSOC: 0.3, MicroSOC: 1, VisiblePeak: true}, Level1},
+		{PolicyInputs{VDEBSOC: 0.02, MicroSOC: 1, VisiblePeak: true}, Level2},
+		{PolicyInputs{VDEBSOC: 0.02, MicroSOC: 0.5}, Level2},
+		{PolicyInputs{VDEBSOC: 0.02, MicroSOC: 0.01}, Level3},
+		{PolicyInputs{VDEBSOC: 0.1, MicroSOC: 0.6}, Level2},
+		{PolicyInputs{VDEBSOC: 0.6, MicroSOC: 0.9}, Level1},
+	}
+	for i, s := range seq {
+		if got := p.Step(s.in); got != s.want {
+			t.Fatalf("step %d: level %v, want %v", i, got, s.want)
+		}
+	}
+}

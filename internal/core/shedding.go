@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Shedder plans emergency load shedding: in Level 3, PAD puts a small
+// number of low-priority servers to sleep to erase the power shortfall
+// and let batteries recover. The paper's Figure 14 shows that shedding
+// under 3% of servers flattens the battery-usage map under cluster-wide
+// surges.
+type Shedder struct {
+	// MaxRatio is the largest fraction of the cluster's servers that may
+	// be shed simultaneously. 0 selects 0.03.
+	MaxRatio float64
+	// PerServerSaving is the power recovered by sleeping one server
+	// (active power minus sleep power).
+	PerServerSaving units.Watts
+}
+
+// NewShedder builds a shedding planner.
+func NewShedder(maxRatio float64, perServerSaving units.Watts) (*Shedder, error) {
+	if maxRatio == 0 {
+		maxRatio = 0.03
+	}
+	if maxRatio < 0 || maxRatio > 1 {
+		return nil, fmt.Errorf("core: shed ratio %v out of [0,1]", maxRatio)
+	}
+	if perServerSaving <= 0 {
+		return nil, fmt.Errorf("core: per-server saving must be positive, got %v", perServerSaving)
+	}
+	return &Shedder{MaxRatio: maxRatio, PerServerSaving: perServerSaving}, nil
+}
+
+// Plan decides how many servers to shed in each rack to recover at least
+// shortfall watts, never exceeding MaxRatio of totalServers overall.
+// Racks are drained vulnerable-first (lowest battery SOC first), because
+// sleeping servers on a vulnerable rack both frees budget and disrupts
+// any attacker resident there. serversPerRack bounds each rack's
+// contribution.
+//
+// It returns the per-rack shed counts and the total power recovered.
+func (s *Shedder) Plan(shortfall units.Watts, socs []float64, serversPerRack, totalServers int) ([]int, units.Watts) {
+	n := len(socs)
+	counts := make([]int, n)
+	if shortfall <= 0 || n == 0 || serversPerRack <= 0 || totalServers <= 0 {
+		return counts, 0
+	}
+	budget := int(s.maxRatio() * float64(totalServers))
+	if budget == 0 {
+		return counts, 0
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return socs[order[a]] < socs[order[b]]
+	})
+	var recovered units.Watts
+	shed := 0
+	for _, idx := range order {
+		for counts[idx] < serversPerRack && shed < budget && recovered < shortfall {
+			counts[idx]++
+			shed++
+			recovered += s.PerServerSaving
+		}
+		if shed >= budget || recovered >= shortfall {
+			break
+		}
+	}
+	return counts, recovered
+}
+
+func (s *Shedder) maxRatio() float64 {
+	if s.MaxRatio == 0 {
+		return 0.03
+	}
+	return s.MaxRatio
+}

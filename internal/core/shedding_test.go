@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestShedderValidation(t *testing.T) {
+	if _, err := NewShedder(-0.1, 100); err == nil {
+		t.Error("negative ratio should fail")
+	}
+	if _, err := NewShedder(1.5, 100); err == nil {
+		t.Error("ratio above 1 should fail")
+	}
+	if _, err := NewShedder(0.03, 0); err == nil {
+		t.Error("zero saving should fail")
+	}
+	s, err := NewShedder(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxRatio != 0.03 {
+		t.Fatalf("default ratio = %v, want 0.03", s.MaxRatio)
+	}
+}
+
+func TestShedderRecoversShortfall(t *testing.T) {
+	s, _ := NewShedder(0.10, 200)
+	socs := []float64{0.9, 0.1, 0.5}
+	counts, recovered := s.Plan(500, socs, 10, 30)
+	if recovered < 500 {
+		t.Fatalf("recovered %v, want >= 500", recovered)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 { // ceil(500/200)
+		t.Fatalf("shed %d servers, want 3", total)
+	}
+	// Vulnerable-first: rack 1 (SOC 0.1) sheds first.
+	if counts[1] == 0 {
+		t.Fatal("most vulnerable rack shed nothing")
+	}
+}
+
+func TestShedderRespectsMaxRatio(t *testing.T) {
+	s, _ := NewShedder(0.03, 200)
+	socs := make([]float64, 22)
+	counts, recovered := s.Plan(1e6, socs, 10, 220)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total > 6 { // 3% of 220 = 6.6 → 6
+		t.Fatalf("shed %d servers, budget is 6", total)
+	}
+	if recovered != units.Watts(total*200) {
+		t.Fatalf("recovered %v for %d servers", recovered, total)
+	}
+}
+
+func TestShedderRespectsRackCapacity(t *testing.T) {
+	s, _ := NewShedder(1.0, 100)
+	socs := []float64{0.1, 0.9}
+	counts, _ := s.Plan(1e6, socs, 5, 10)
+	if counts[0] > 5 || counts[1] > 5 {
+		t.Fatalf("rack over-shed: %v", counts)
+	}
+}
+
+func TestShedderVulnerableFirstOrder(t *testing.T) {
+	s, _ := NewShedder(0.5, 100)
+	socs := []float64{0.8, 0.2, 0.5}
+	counts, _ := s.Plan(250, socs, 10, 30) // needs 3 servers
+	if counts[1] != 3 {
+		t.Fatalf("lowest-SOC rack should shed all 3, got %v", counts)
+	}
+}
+
+func TestShedderDegenerateInputs(t *testing.T) {
+	s, _ := NewShedder(0.03, 100)
+	if counts, rec := s.Plan(0, []float64{0.5}, 10, 10); rec != 0 || counts[0] != 0 {
+		t.Error("zero shortfall should shed nothing")
+	}
+	if counts, rec := s.Plan(-5, []float64{0.5}, 10, 10); rec != 0 || counts[0] != 0 {
+		t.Error("negative shortfall should shed nothing")
+	}
+	if counts, _ := s.Plan(100, nil, 10, 10); len(counts) != 0 {
+		t.Error("no racks should return empty plan")
+	}
+	if _, rec := s.Plan(100, []float64{0.5}, 0, 10); rec != 0 {
+		t.Error("zero servers per rack should shed nothing")
+	}
+}
+
+func TestShedderTinyClusterZeroBudget(t *testing.T) {
+	// 3% of 10 servers rounds to 0: nothing may be shed.
+	s, _ := NewShedder(0.03, 100)
+	counts, rec := s.Plan(1000, []float64{0.1}, 10, 10)
+	if rec != 0 || counts[0] != 0 {
+		t.Fatalf("tiny cluster shed %v (recovered %v)", counts, rec)
+	}
+}

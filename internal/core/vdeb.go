@@ -1,0 +1,113 @@
+// Package core implements the paper's contribution: the PAD (Power Attack
+// Defense) energy-management patch. It contains the vDEB virtual battery
+// pool controller (Algorithm 1), the μDEB spike shaver built on an ORing
+// FET and a super-capacitor bank, the three-level hierarchical security
+// policy of Figure 9, and the emergency load-shedding planner.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// VDEBController implements the paper's Algorithm 1: two-level battery
+// load sharing across the racks behind one PDU. Instead of each rack
+// shaving its own excess, the controller pools the shave demand and
+// assigns per-rack discharge power proportional to state of charge,
+// capped at Pideal so no battery is driven beyond its safe rate. Racks
+// with drained batteries are assigned (nearly) nothing — the mechanism
+// that "hides vulnerable racks" from a Phase-I attacker.
+type VDEBController struct {
+	// PIdeal is the per-rack ideal (maximum safe) discharge power.
+	PIdeal units.Watts
+}
+
+// NewVDEBController creates a controller with the given per-rack
+// discharge bound.
+func NewVDEBController(pIdeal units.Watts) (*VDEBController, error) {
+	if pIdeal <= 0 {
+		return nil, fmt.Errorf("core: Pideal must be positive, got %v", pIdeal)
+	}
+	return &VDEBController{PIdeal: pIdeal}, nil
+}
+
+// Allocate distributes the pool-wide shave demand pShave across racks
+// given their battery SOCs (in [0,1]). It returns per-rack discharge
+// assignments with:
+//
+//   - every assignment in [0, PIdeal],
+//   - total = min(pShave, n·PIdeal) up to rounding, and
+//   - assignments proportional to SOC except where the PIdeal cap binds
+//     (resolved high-SOC-first, as in Algorithm 1's quicksort loop).
+//
+// Note on fidelity: Algorithm 1 as printed decrements the remaining shave
+// demand by Pideal/N inside the cap loop (line 14); that leaves the
+// proportional pass over-allocating whenever any rack saturates. We
+// decrement by the full Pideal actually assigned, which is the evident
+// intent (total conservation).
+func (c *VDEBController) Allocate(socs []float64, pShave units.Watts) []units.Watts {
+	n := len(socs)
+	out := make([]units.Watts, n)
+	if n == 0 || pShave <= 0 {
+		return out
+	}
+	// Saturated pool: "evenly usage DEB" at the safe bound.
+	if pShave >= c.PIdeal*units.Watts(n) {
+		for i := range out {
+			out[i] = c.PIdeal
+		}
+		return out
+	}
+	// Sort rack indices by SOC, descending (Algorithm 1 lines 9-10).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return socs[order[a]] > socs[order[b]]
+	})
+	socTotal := 0.0
+	for _, s := range socs {
+		socTotal += s
+	}
+	remaining := pShave
+	k := 0
+	// Cap loop (lines 11-15): while the proportional share of the current
+	// highest-SOC rack would exceed PIdeal, pin it to PIdeal.
+	for ; k < n; k++ {
+		idx := order[k]
+		if socTotal <= 0 {
+			break
+		}
+		share := units.Watts(socs[idx] / socTotal * float64(remaining))
+		if share <= c.PIdeal {
+			break
+		}
+		out[idx] = c.PIdeal
+		socTotal -= socs[idx]
+		remaining -= c.PIdeal
+	}
+	// Proportional pass (lines 16-18) over the rest.
+	if socTotal > 0 && remaining > 0 {
+		for ; k < n; k++ {
+			idx := order[k]
+			out[idx] = units.Watts(socs[idx] / socTotal * float64(remaining))
+		}
+	}
+	return out
+}
+
+// PoolSOC returns the pool-mean SOC, the "vDEB level" input of the
+// security policy.
+func PoolSOC(socs []float64) float64 {
+	if len(socs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range socs {
+		s += x
+	}
+	return s / float64(len(socs))
+}

@@ -1,0 +1,117 @@
+// Package cost implements the economic models behind the paper's
+// motivation (Figure 1's outage-cost CDF, the $10–25/W infrastructure
+// cost) and its Figure 17 cost-efficiency analysis of μDEB capacity.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// OutageModel captures the Ponemon-style outage cost statistics the paper
+// cites: a heavy-tailed per-square-meter-per-minute cost whose 2013 mean
+// corresponds to about $7,900/minute for a typical data center.
+type OutageModel struct {
+	// MedianPerSqmMinute is the median cost in USD per square meter per
+	// minute. 0 selects 15 (40% of surveyed centers exceed ~$10).
+	MedianPerSqmMinute float64
+	// Sigma is the log-normal shape. 0 selects 0.9.
+	Sigma float64
+}
+
+func (m OutageModel) median() float64 {
+	if m.MedianPerSqmMinute == 0 {
+		return 15
+	}
+	return m.MedianPerSqmMinute
+}
+
+func (m OutageModel) sigma() float64 {
+	if m.Sigma == 0 {
+		return 0.9
+	}
+	return m.Sigma
+}
+
+// SampleCDF draws n outage costs and returns their empirical CDF — the
+// reproduction of Figure 1's curve shape.
+func (m OutageModel) SampleCDF(n int, seed uint64) *stats.CDF {
+	rng := stats.NewRNG(seed)
+	mu := math.Log(m.median())
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = rng.LogNormal(mu, m.sigma())
+	}
+	return stats.NewCDF(samples)
+}
+
+// OutageCost estimates the loss of an outage lasting minutes over a
+// facility of the given floor area, at the median cost rate.
+func (m OutageModel) OutageCost(minutes, sqMeters float64) float64 {
+	if minutes < 0 || sqMeters < 0 {
+		return 0
+	}
+	return m.median() * minutes * sqMeters
+}
+
+// CapexModel prices the storage hardware of a PAD deployment.
+type CapexModel struct {
+	// LeadAcidPerWh is the battery cost in $/Wh. 0 selects 0.25
+	// ($250/kWh, stationary lead-acid).
+	LeadAcidPerWh float64
+	// SuperCapPerWh is the super-capacitor cost in $/Wh. 0 selects 20
+	// (the paper cites 10–30 $/Wh).
+	SuperCapPerWh float64
+	// InfraPerWatt is the power-infrastructure cost in $/W. 0 selects
+	// 15 (the paper cites $10–25/W).
+	InfraPerWatt float64
+}
+
+func (m CapexModel) leadAcid() float64 {
+	if m.LeadAcidPerWh == 0 {
+		return 0.25
+	}
+	return m.LeadAcidPerWh
+}
+
+func (m CapexModel) superCap() float64 {
+	if m.SuperCapPerWh == 0 {
+		return 20
+	}
+	return m.SuperCapPerWh
+}
+
+func (m CapexModel) infra() float64 {
+	if m.InfraPerWatt == 0 {
+		return 15
+	}
+	return m.InfraPerWatt
+}
+
+// BatteryCost prices a lead-acid bank of the given capacity.
+func (m CapexModel) BatteryCost(capacity units.Joules) float64 {
+	return float64(capacity.WattHours()) * m.leadAcid()
+}
+
+// MicroDEBCost prices a super-capacitor bank of the given capacity; the
+// paper's Figure 17 notes the cost "roughly follows a linear model".
+func (m CapexModel) MicroDEBCost(capacity units.Joules) float64 {
+	return float64(capacity.WattHours()) * m.superCap()
+}
+
+// InfrastructureCost prices provisioned power capacity.
+func (m CapexModel) InfrastructureCost(capacity units.Watts) float64 {
+	return float64(capacity) * m.infra()
+}
+
+// CostRatio returns the μDEB/vDEB hardware cost ratio for the given
+// capacities — Figure 17's left axis.
+func (m CapexModel) CostRatio(micro, vdeb units.Joules) (float64, error) {
+	if vdeb <= 0 {
+		return 0, fmt.Errorf("cost: vDEB capacity must be positive, got %v", vdeb)
+	}
+	return m.MicroDEBCost(micro) / m.BatteryCost(vdeb), nil
+}

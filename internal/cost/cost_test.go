@@ -1,0 +1,87 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestOutageCDFShape(t *testing.T) {
+	m := OutageModel{}
+	cdf := m.SampleCDF(20000, 42)
+	// Median near the configured 15 $/sqm/min.
+	med := cdf.Quantile(0.5)
+	if med < 12 || med > 18 {
+		t.Fatalf("median = %v, want ~15", med)
+	}
+	// Heavy tail: the 95th percentile is several times the median.
+	p95 := cdf.Quantile(0.95)
+	if p95 < 2*med {
+		t.Fatalf("tail too light: p95=%v median=%v", p95, med)
+	}
+	// Figure 1's anchor: a large share of centers exceed $10/sqm/min.
+	if frac := 1 - cdf.P(10); frac < 0.4 {
+		t.Fatalf("only %v exceed $10/sqm/min, want >= 0.4", frac)
+	}
+}
+
+func TestOutageCDFDeterministic(t *testing.T) {
+	a := OutageModel{}.SampleCDF(100, 7).Quantile(0.5)
+	b := OutageModel{}.SampleCDF(100, 7).Quantile(0.5)
+	if a != b {
+		t.Fatal("CDF sampling not deterministic")
+	}
+}
+
+func TestOutageCost(t *testing.T) {
+	m := OutageModel{MedianPerSqmMinute: 10}
+	if got := m.OutageCost(2, 100); got != 2000 {
+		t.Fatalf("OutageCost = %v, want 2000", got)
+	}
+	if got := m.OutageCost(-1, 100); got != 0 {
+		t.Fatal("negative minutes should cost 0")
+	}
+}
+
+func TestCapexCosts(t *testing.T) {
+	m := CapexModel{}
+	wh100 := units.WattHours(100).Joules()
+	if got := m.BatteryCost(wh100); got != 25 {
+		t.Fatalf("BatteryCost = %v, want 25", got)
+	}
+	if got := m.MicroDEBCost(wh100); got != 2000 {
+		t.Fatalf("MicroDEBCost = %v, want 2000", got)
+	}
+	if got := m.InfrastructureCost(1000); got != 15000 {
+		t.Fatalf("InfrastructureCost = %v, want 15000", got)
+	}
+}
+
+func TestCostRatio(t *testing.T) {
+	m := CapexModel{}
+	// Super-caps are 80x the $/Wh of lead-acid at defaults: a bank 1% the
+	// energy of the pool costs 80% as much per Wh ratio × 0.01.
+	micro := units.WattHours(1).Joules()
+	vdeb := units.WattHours(100).Joules()
+	got, err := m.CostRatio(micro, vdeb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20.0 / (0.25 * 100)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CostRatio = %v, want %v", got, want)
+	}
+	if _, err := m.CostRatio(micro, 0); err == nil {
+		t.Fatal("zero vDEB capacity should fail")
+	}
+}
+
+func TestMicroCostLinearInCapacity(t *testing.T) {
+	m := CapexModel{}
+	c1 := m.MicroDEBCost(units.WattHours(1).Joules())
+	c5 := m.MicroDEBCost(units.WattHours(5).Joules())
+	if math.Abs(c5-5*c1) > 1e-9 {
+		t.Fatalf("cost not linear: %v vs 5x%v", c5, c1)
+	}
+}

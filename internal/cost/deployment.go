@@ -1,0 +1,111 @@
+package cost
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Deployment prices a PAD rollout for one cluster and weighs it against
+// outage exposure — the paper's §6-D argument that PAD's hardware
+// addition (the μDEB banks; the vDEB pool reuses batteries the data
+// center already owns) is negligible next to the cost of a single
+// successful power attack.
+type Deployment struct {
+	// Racks and rack sizing.
+	Racks          int
+	ServersPerRack int
+	// ServerPeak is the per-server nameplate power.
+	ServerPeak units.Watts
+	// MicroDEBPerRack is the μDEB bank energy installed per rack.
+	MicroDEBPerRack units.Joules
+	// OversubscriptionRatio is PPDU/(n·Pr): capacity the facility did NOT
+	// have to build.
+	OversubscriptionRatio float64
+	// FloorPerRack is the white-space footprint per rack, for outage
+	// pricing. 0 selects 3 m².
+	FloorPerRack float64
+
+	// Capex and Outage override the default cost models when non-nil.
+	Capex  *CapexModel
+	Outage *OutageModel
+}
+
+func (d Deployment) validate() error {
+	if d.Racks <= 0 || d.ServersPerRack <= 0 {
+		return fmt.Errorf("cost: invalid cluster %dx%d", d.Racks, d.ServersPerRack)
+	}
+	if d.ServerPeak <= 0 {
+		return fmt.Errorf("cost: server peak must be positive, got %v", d.ServerPeak)
+	}
+	if d.OversubscriptionRatio <= 0 || d.OversubscriptionRatio > 1 {
+		return fmt.Errorf("cost: oversubscription ratio %v out of (0,1]", d.OversubscriptionRatio)
+	}
+	return nil
+}
+
+func (d Deployment) capex() CapexModel {
+	if d.Capex != nil {
+		return *d.Capex
+	}
+	return CapexModel{}
+}
+
+func (d Deployment) outage() OutageModel {
+	if d.Outage != nil {
+		return *d.Outage
+	}
+	return OutageModel{}
+}
+
+func (d Deployment) floorPerRack() float64 {
+	if d.FloorPerRack == 0 {
+		return 3
+	}
+	return d.FloorPerRack
+}
+
+// Analysis is the priced deployment.
+type Analysis struct {
+	// PADHardwareUSD is the μDEB addition (the only new hardware).
+	PADHardwareUSD float64
+	// OversubscriptionSavingsUSD is the infrastructure capex avoided by
+	// provisioning below total nameplate.
+	OversubscriptionSavingsUSD float64
+	// OutageCostPerMinuteUSD prices one minute of whole-cluster outage.
+	OutageCostPerMinuteUSD float64
+	// BreakEvenOutage is the outage duration whose avoided cost pays for
+	// the PAD hardware.
+	BreakEvenOutage time.Duration
+	// HardwareShareOfSavings is PAD hardware cost over oversubscription
+	// savings — the paper's "slightest cost overhead" ratio.
+	HardwareShareOfSavings float64
+}
+
+// Analyze prices the deployment.
+func (d Deployment) Analyze() (*Analysis, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	capex := d.capex()
+	outage := d.outage()
+
+	a := &Analysis{}
+	a.PADHardwareUSD = capex.MicroDEBCost(d.MicroDEBPerRack) * float64(d.Racks)
+
+	nameplate := float64(d.ServerPeak) * float64(d.ServersPerRack) * float64(d.Racks)
+	avoided := nameplate * (1 - d.OversubscriptionRatio)
+	a.OversubscriptionSavingsUSD = capex.InfrastructureCost(units.Watts(avoided))
+
+	floor := d.floorPerRack() * float64(d.Racks)
+	a.OutageCostPerMinuteUSD = outage.OutageCost(1, floor)
+	if a.OutageCostPerMinuteUSD > 0 {
+		minutes := a.PADHardwareUSD / a.OutageCostPerMinuteUSD
+		a.BreakEvenOutage = time.Duration(minutes * float64(time.Minute))
+	}
+	if a.OversubscriptionSavingsUSD > 0 {
+		a.HardwareShareOfSavings = a.PADHardwareUSD / a.OversubscriptionSavingsUSD
+	}
+	return a, nil
+}

@@ -1,0 +1,99 @@
+package cost
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// paperDeployment is the evaluated cluster: 22 racks × 10 DL585s at 75%
+// oversubscription with a 1%-of-cabinet μDEB (~0.8 Wh) per rack.
+func paperDeployment() Deployment {
+	return Deployment{
+		Racks:                 22,
+		ServersPerRack:        10,
+		ServerPeak:            521,
+		MicroDEBPerRack:       units.WattHours(0.8).Joules(),
+		OversubscriptionRatio: 0.75,
+	}
+}
+
+func TestDeploymentValidation(t *testing.T) {
+	bad := []Deployment{
+		{},
+		{Racks: 22, ServersPerRack: 10, ServerPeak: 0, OversubscriptionRatio: 0.75},
+		{Racks: 22, ServersPerRack: 10, ServerPeak: 521, OversubscriptionRatio: 1.5},
+	}
+	for i, d := range bad {
+		if _, err := d.Analyze(); err == nil {
+			t.Errorf("deployment %d should fail", i)
+		}
+	}
+}
+
+func TestDeploymentNumbers(t *testing.T) {
+	a, err := paperDeployment().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// μDEB hardware: 0.8 Wh × $20/Wh × 22 racks = $352.
+	if a.PADHardwareUSD < 300 || a.PADHardwareUSD > 400 {
+		t.Fatalf("PAD hardware = $%v, want ~$352", a.PADHardwareUSD)
+	}
+	// Oversubscription avoids 25% of 114.6 kW at $15/W ≈ $430k.
+	if a.OversubscriptionSavingsUSD < 3e5 || a.OversubscriptionSavingsUSD > 6e5 {
+		t.Fatalf("savings = $%v, want ~$430k", a.OversubscriptionSavingsUSD)
+	}
+	// The paper's core economics: PAD hardware is a rounding error next
+	// to the savings it makes safe to keep.
+	if a.HardwareShareOfSavings > 0.01 {
+		t.Fatalf("hardware share = %v, want < 1%%", a.HardwareShareOfSavings)
+	}
+	// One cluster-wide outage minute costs ~$1k (66 m² × $15); the μDEB
+	// pays for itself within the first minute of avoided outage.
+	if a.OutageCostPerMinuteUSD < 500 || a.OutageCostPerMinuteUSD > 2000 {
+		t.Fatalf("outage $/min = %v", a.OutageCostPerMinuteUSD)
+	}
+	if a.BreakEvenOutage > time.Minute {
+		t.Fatalf("break-even = %v, want under a minute", a.BreakEvenOutage)
+	}
+}
+
+func TestDeploymentScalesWithMicroSize(t *testing.T) {
+	small := paperDeployment()
+	big := paperDeployment()
+	big.MicroDEBPerRack *= 10
+	as, err := small.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := big.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := ab.PADHardwareUSD / as.PADHardwareUSD
+	if ratio < 9.99 || ratio > 10.01 {
+		t.Fatalf("hardware cost should scale linearly, got %v", ratio)
+	}
+	if ab.OversubscriptionSavingsUSD != as.OversubscriptionSavingsUSD {
+		t.Fatal("savings should not depend on μDEB size")
+	}
+}
+
+func TestDeploymentCustomModels(t *testing.T) {
+	d := paperDeployment()
+	d.Capex = &CapexModel{SuperCapPerWh: 40}
+	d.Outage = &OutageModel{MedianPerSqmMinute: 30}
+	a, err := d.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := paperDeployment().Analyze()
+	if a.PADHardwareUSD <= base.PADHardwareUSD {
+		t.Fatal("doubled $/Wh should raise hardware cost")
+	}
+	if a.OutageCostPerMinuteUSD <= base.OutageCostPerMinuteUSD {
+		t.Fatal("doubled outage rate should raise $/min")
+	}
+}

@@ -1,0 +1,447 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/battery"
+	"repro/internal/cost"
+	"repro/internal/metering"
+	"repro/internal/placement"
+	"repro/internal/powersim"
+	"repro/internal/report"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/virus"
+)
+
+// Ablations probe the design choices DESIGN.md calls out: Algorithm 1's
+// PIdeal bound, the software-capping monitoring latency, the charging
+// policy, the detector family, the scheduler's effect on attack
+// preparation cost, and the backup topology's efficiency rationale.
+
+// AblationPoint is one (x, metrics...) sample of an ablation sweep.
+type AblationPoint struct {
+	Label    string
+	X        float64
+	Survival time.Duration
+	Extra    float64
+}
+
+// AblationResult bundles a sweep with its rendered table.
+type AblationResult struct {
+	Points []AblationPoint
+	Table  *report.Table
+}
+
+// ablationSurvivalRun executes a standard Fig15-style dense attack
+// against one scheme configuration and reports survival.
+func ablationSurvivalRun(p Params, mk func() sim.Scheme, micro bool, horizon time.Duration) (*sim.Result, error) {
+	racks := scaleInt(p, 12, 6)
+	const spr = 10
+	bg := burstyRampBackground(racks*spr, 0.48, 0.78, horizon, p.seed()+61,
+		3*time.Minute, 20*time.Second, 0.15)
+	cfg := sim.Config{
+		Racks:              racks,
+		ServersPerRack:     spr,
+		Tick:               200 * time.Millisecond,
+		Duration:           horizon,
+		OvershootTolerance: 0.04,
+		Background:         bg,
+		StopOnTrip:         true,
+		Attack: attackSpec(4, virus.Config{
+			Profile:         virus.CPUIntensive,
+			SpikeWidth:      4 * time.Second,
+			SpikesPerMinute: 6,
+			PrepDuration:    time.Minute,
+			MaxPhaseI:       3 * time.Minute,
+			Seed:            p.seed(),
+		}),
+	}
+	if micro {
+		cfg.MicroDEBFactory = microFactory(defaultMicroFraction)
+	}
+	return sim.Run(cfg, mk())
+}
+
+// AblationPIdeal sweeps Algorithm 1's per-rack discharge bound. A tight
+// bound protects batteries from accelerated aging but limits how much
+// duty the pool can shift; a loose bound buys survival at the price of
+// deep per-battery currents.
+func AblationPIdeal(p Params) (*AblationResult, error) {
+	horizon := scaleDur(p, 40*time.Minute, 15*time.Minute)
+	fractions := []float64{0.1, 0.25, 0.5, 1.0} // of rack nameplate
+	out := &AblationResult{}
+	tbl := report.NewTable(
+		"Ablation — Algorithm 1 PIdeal bound (vDEB scheme, dense attack)",
+		"PIdeal(xNameplate)", "Survival(s)", "MaxRackDischarge(W)")
+	for _, f := range fractions {
+		pi := units.Watts(521 * 10 * f)
+		res, err := ablationSurvivalRun(p, func() sim.Scheme {
+			return schemes.NewVDEB(schemes.Options{PIdeal: pi})
+		}, false, horizon)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label: "vDEB", X: f, Survival: res.SurvivalTime,
+			Extra: float64(res.MaxRackDischarge),
+		})
+		tbl.AddRow(f, res.SurvivalTime.Seconds(), float64(res.MaxRackDischarge))
+	}
+	out.Table = tbl
+	return out, nil
+}
+
+// AblationGovernor sweeps the software-capping monitoring constant: the
+// coarser the monitoring, the later PSPC's caps arrive and the earlier
+// fast excursions kill it — the latency argument at the heart of the
+// paper's case for hardware defenses.
+func AblationGovernor(p Params) (*AblationResult, error) {
+	horizon := scaleDur(p, 40*time.Minute, 15*time.Minute)
+	taus := []time.Duration{2 * time.Second, 15 * time.Second, 60 * time.Second, 5 * time.Minute}
+	out := &AblationResult{}
+	tbl := report.NewTable(
+		"Ablation — capping monitoring latency (PSPC scheme, dense attack)",
+		"MonitoringTau", "Survival(s)", "Throughput")
+	for _, tau := range taus {
+		res, err := ablationSurvivalRun(p, func() sim.Scheme {
+			s := schemes.NewPSPC(schemes.Options{})
+			s.SetMonitoringTau(tau)
+			return s
+		}, false, horizon)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label: tau.String(), X: tau.Seconds(),
+			Survival: res.SurvivalTime, Extra: res.Throughput,
+		})
+		tbl.AddRow(tau.String(), res.SurvivalTime.Seconds(), res.Throughput)
+	}
+	out.Table = tbl
+	return out, nil
+}
+
+// AblationCharging contrasts online and offline charging under attack:
+// the offline fleet enters the attack with uneven batteries and dies
+// sooner — the Figure 5 observation carried to its consequence.
+func AblationCharging(p Params) (*AblationResult, error) {
+	horizon := scaleDur(p, 40*time.Minute, 15*time.Minute)
+	out := &AblationResult{}
+	tbl := report.NewTable(
+		"Ablation — charging policy under attack (PS scheme)",
+		"Charging", "Survival(s)")
+	for _, offline := range []bool{false, true} {
+		res, err := ablationSurvivalRun(p, func() sim.Scheme {
+			return schemes.NewPS(schemes.Options{Offline: offline, OfflineThreshold: 0.15})
+		}, false, horizon)
+		if err != nil {
+			return nil, err
+		}
+		label := "online"
+		if offline {
+			label = "offline"
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label: label, Survival: res.SurvivalTime,
+		})
+		tbl.AddRow(label, res.SurvivalTime.Seconds())
+	}
+	out.Table = tbl
+	return out, nil
+}
+
+// AblationDetectors compares the per-interval threshold detector against
+// the CUSUM change detector on the Table-1 attack traces. The per-spike
+// rates expose CUSUM's localization tradeoff: its flags can lag the spike
+// that caused them by a few intervals (accumulation delay), so it scores
+// lower on per-spike attribution even while it is more sensitive to
+// persistent sub-threshold excess (see the unit tests in
+// internal/metering).
+func AblationDetectors(p Params) (*AblationResult, error) {
+	horizon := scaleDur(p, 15*time.Minute, 4*time.Minute)
+	out := &AblationResult{}
+	tbl := report.NewTable(
+		"Ablation — threshold vs CUSUM detection (5 s metering)",
+		"Attack", "Threshold", "CUSUM")
+	shapes := []struct {
+		label  string
+		width  time.Duration
+		perMin float64
+		scale  float64
+	}{
+		{"1s/1min full", time.Second, 1, 1},
+		{"4s/6min full", 4 * time.Second, 6, 1},
+		{"4s/6min split", 4 * time.Second, 6, 0.25},
+	}
+	const interval = 5 * time.Second
+	for _, sh := range shapes {
+		rec, spikes, baseline, err := table1Run(p, 4, sh.scale, sh.width, sh.perMin, horizon)
+		if err != nil {
+			return nil, err
+		}
+		thRate := meterAndDetect(rec, spikes, baseline, interval, p.seed())
+		cuRate := meterAndDetectCUSUM(rec, spikes, baseline, interval, p.seed())
+		out.Points = append(out.Points, AblationPoint{
+			Label: sh.label, X: thRate, Extra: cuRate,
+		})
+		tbl.AddRow(sh.label, fmt.Sprintf("%.1f%%", thRate*100), fmt.Sprintf("%.1f%%", cuRate*100))
+	}
+	out.Table = tbl
+	return out, nil
+}
+
+// meterAndDetectCUSUM is meterAndDetect with the CUSUM detector.
+func meterAndDetectCUSUM(rec *sim.Recording, spikes []time.Duration,
+	baseline units.Watts, interval time.Duration, seed uint64) float64 {
+	meter, err := metering.NewMeter(interval, 25, seed)
+	if err != nil {
+		return 0
+	}
+	det := metering.NewCUSUMDetector(baseline)
+	var flagged []metering.IntervalReading
+	for _, v := range rec.RackDraw[0].Values {
+		for _, r := range meter.Record(units.Watts(v), rec.Step) {
+			if det.Observe(r) {
+				flagged = append(flagged, r)
+			}
+		}
+	}
+	return metering.DetectionRate(spikes, flagged, interval)
+}
+
+// AblationPlacement measures the preparation phase's cost: how many probe
+// VMs the attacker burns to land four servers on one rack, by scheduler
+// policy and occupancy. A spread scheduler and a busy cluster multiply
+// the attack's up-front cost.
+func AblationPlacement(p Params) (*AblationResult, error) {
+	trials := scaleInt(p, 20, 6)
+	out := &AblationResult{}
+	tbl := report.NewTable(
+		"Ablation — attack preparation cost (probes to land 4 servers on one rack)",
+		"Policy", "Occupancy", "MeanProbes", "SuccessRate")
+	for _, policy := range []placement.Policy{
+		placement.PackLowestID, placement.SpreadLeastLoaded, placement.RandomFit,
+	} {
+		for _, occ := range []float64{0.4, 0.7} {
+			total, ok := 0, 0
+			for trial := 0; trial < trials; trial++ {
+				res, err := placement.RunCampaign(placement.CampaignConfig{
+					Policy:     policy,
+					Occupancy:  occ,
+					TargetRack: -1,
+					Seed:       p.seed() + uint64(trial)*131,
+				})
+				if err != nil {
+					return nil, err
+				}
+				total += res.Probes
+				if res.Succeeded {
+					ok++
+				}
+			}
+			mean := float64(total) / float64(trials)
+			rate := float64(ok) / float64(trials)
+			out.Points = append(out.Points, AblationPoint{
+				Label: policy.String(), X: occ, Extra: mean,
+			})
+			tbl.AddRow(policy.String(), occ, mean, rate)
+		}
+	}
+	out.Table = tbl
+	return out, nil
+}
+
+// AblationGranularity compares the two DEB integration granularities of
+// Figure 3: one top-of-rack battery cabinet versus ten per-node units
+// (same total energy, per-unit LVDs). Per-node banks degrade gracefully —
+// units disconnect one at a time instead of the whole cabinet at once —
+// at the cost of per-unit balancing.
+func AblationGranularity(p Params) (*AblationResult, error) {
+	horizon := scaleDur(p, 40*time.Minute, 15*time.Minute)
+	out := &AblationResult{}
+	tbl := report.NewTable(
+		"Ablation — DEB granularity (PS scheme, dense attack)",
+		"Deployment", "Survival(s)", "BatteryEnergy(kJ)")
+	deployments := []struct {
+		label   string
+		factory func(nameplate units.Watts) battery.Store
+	}{
+		{"top-of-rack", func(nameplate units.Watts) battery.Store {
+			return battery.NewRackCabinet(nameplate)
+		}},
+		{"per-node", func(nameplate units.Watts) battery.Store {
+			bank, err := battery.NewPerNodeBank(10, nameplate/10)
+			if err != nil {
+				panic(err) // static arguments
+			}
+			return bank
+		}},
+	}
+	for _, d := range deployments {
+		racks := scaleInt(p, 12, 6)
+		const spr = 10
+		bg := burstyRampBackground(racks*spr, 0.48, 0.78, horizon, p.seed()+61,
+			3*time.Minute, 20*time.Second, 0.15)
+		cfg := sim.Config{
+			Racks:              racks,
+			ServersPerRack:     spr,
+			Tick:               200 * time.Millisecond,
+			Duration:           horizon,
+			OvershootTolerance: 0.04,
+			Background:         bg,
+			StopOnTrip:         true,
+			BatteryFactory:     d.factory,
+			Attack: attackSpec(4, virus.Config{
+				Profile:         virus.CPUIntensive,
+				SpikeWidth:      4 * time.Second,
+				SpikesPerMinute: 6,
+				PrepDuration:    time.Minute,
+				MaxPhaseI:       3 * time.Minute,
+				Seed:            p.seed(),
+			}),
+		}
+		res, err := sim.Run(cfg, schemes.NewPS(schemes.Options{}))
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label: d.label, Survival: res.SurvivalTime,
+			Extra: float64(res.EnergyFromBatteries) / 1000,
+		})
+		tbl.AddRow(d.label, res.SurvivalTime.Seconds(),
+			float64(res.EnergyFromBatteries)/1000)
+	}
+	out.Table = tbl
+	return out, nil
+}
+
+// AblationJitter pits the periodicity detector against the attacker's
+// spike-phase jitter: the regular Phase-II schedule betrays itself
+// through autocorrelation even when amplitudes stay sub-threshold, and
+// randomizing spike timing (virus.Config.PhaseJitter) guts that signal —
+// the attacker/defender arms race one level above Table I.
+func AblationJitter(p Params) (*AblationResult, error) {
+	horizon := scaleDur(p, 20*time.Minute, 8*time.Minute)
+	out := &AblationResult{}
+	tbl := report.NewTable(
+		"Ablation — spike-phase jitter vs periodicity detection (2 s metering)",
+		"PhaseJitter", "PeriodicFlags", "AmplitudeRate")
+	for _, jitter := range []float64{0, 0.25, 0.5} {
+		rec, spikes, baseline, err := jitterRun(p, jitter, horizon)
+		if err != nil {
+			return nil, err
+		}
+		const interval = 2 * time.Second
+		meter, err := metering.NewMeter(interval, 10, p.seed())
+		if err != nil {
+			return nil, err
+		}
+		perio := metering.NewPeriodicityDetector(baseline)
+		amp := metering.NewDetector(baseline)
+		var ampFlagged []metering.IntervalReading
+		for _, v := range rec.RackDraw[0].Values {
+			for _, r := range meter.Record(units.Watts(v), rec.Step) {
+				perio.Observe(r)
+				if amp.Observe(r) {
+					ampFlagged = append(ampFlagged, r)
+				}
+			}
+		}
+		ampRate := metering.DetectionRate(spikes, ampFlagged, interval)
+		out.Points = append(out.Points, AblationPoint{
+			Label: fmt.Sprintf("jitter=%.2f", jitter), X: jitter,
+			Extra: float64(perio.Flags()),
+		})
+		tbl.AddRow(jitter, perio.Flags(), fmt.Sprintf("%.1f%%", ampRate*100))
+	}
+	out.Table = tbl
+	return out, nil
+}
+
+// jitterRun simulates a stealthy low-amplitude spike train with the given
+// phase jitter and returns the recorded rack draw.
+func jitterRun(p Params, jitter float64, horizon time.Duration) (*sim.Recording, []time.Duration, units.Watts, error) {
+	const racks, spr = 1, 10
+	bg := flatNoisyBackground(racks*spr, 0.50, horizon, p.seed()+71)
+	atk := attackSpec(4, virus.Config{
+		Profile:         virus.CPUIntensive,
+		PrepDuration:    time.Second,
+		MaxPhaseI:       time.Second,
+		SpikeWidth:      2 * time.Second,
+		SpikesPerMinute: 6,
+		RestFraction:    0.45,
+		AmplitudeScale:  0.25, // stealthy: sub-threshold interval averages
+		PhaseJitter:     jitter,
+		Seed:            p.seed(),
+	})
+	cfg := sim.Config{
+		Racks:          racks,
+		ServersPerRack: spr,
+		Tick:           100 * time.Millisecond,
+		Duration:       horizon,
+		Background:     bg,
+		Attack:         atk,
+		BatteryFactory: emptyBatteryFactory,
+		DisableTrips:   true,
+		Record:         true,
+	}
+	res, err := sim.Run(cfg, schemes.NewConv(schemes.Options{}))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	baseline := units.Watts(10 * (299 + 0.50*(521-299)))
+	return res.Recording, atk.Attack.SpikeTimes(), baseline, nil
+}
+
+// AblationEconomics prices the paper-scale PAD deployment (§6-D): the
+// μDEB hardware against the oversubscription savings it makes safe to
+// keep and the outage minutes it avoids.
+func AblationEconomics(Params) (*AblationResult, error) {
+	out := &AblationResult{}
+	tbl := report.NewTable(
+		"Ablation — deployment economics (22 racks × 10 DL585, 75% provisioning)",
+		"MicroDEB(Wh/rack)", "Hardware($)", "SavingsKept($)", "Share(%)", "BreakEvenOutage")
+	for _, wh := range []float64{0.35, 0.8, 2, 8} {
+		d := cost.Deployment{
+			Racks:                 22,
+			ServersPerRack:        10,
+			ServerPeak:            521,
+			MicroDEBPerRack:       units.WattHours(wh).Joules(),
+			OversubscriptionRatio: 0.75,
+		}
+		a, err := d.Analyze()
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label: fmt.Sprintf("%.2fWh", wh), X: wh, Extra: a.PADHardwareUSD,
+		})
+		tbl.AddRow(wh, a.PADHardwareUSD, a.OversubscriptionSavingsUSD,
+			a.HardwareShareOfSavings*100, a.BreakEvenOutage.Round(time.Second).String())
+	}
+	out.Table = tbl
+	return out, nil
+}
+
+// AblationTopology tabulates the §2 efficiency rationale: the conversion
+// loss each deployment option pays to serve 1 MW of load.
+func AblationTopology(Params) (*AblationResult, error) {
+	out := &AblationResult{}
+	tbl := report.NewTable(
+		"Ablation — backup topology efficiency at 1 MW load (Figure 3 options)",
+		"Topology", "PathEfficiency", "LossKW", "AnnualMWh", "SPOF")
+	for _, topo := range powersim.Topologies() {
+		m := topo.Model()
+		loss := topo.ConversionLoss(units.Megawatt)
+		out.Points = append(out.Points, AblationPoint{
+			Label: topo.String(), X: m.PathEfficiency, Extra: float64(loss),
+		})
+		tbl.AddRow(topo.String(), m.PathEfficiency, float64(loss)/1000,
+			topo.AnnualLossKWh(units.Megawatt)/1000, m.SPOF)
+	}
+	out.Table = tbl
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationPIdealTradeoff(t *testing.T) {
+	r, err := AblationPIdeal(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// The bound's purpose: a tight PIdeal caps the per-battery discharge
+	// rate (aging protection); loosening it raises the observed peak rate.
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if last.Extra < first.Extra {
+		t.Fatalf("loose PIdeal peak discharge (%v W) should be >= tight (%v W)",
+			last.Extra, first.Extra)
+	}
+	// The tight bound must actually bind: peak rate stays at or under
+	// 0.1x nameplate (+tolerance for the final partial tick).
+	if first.Extra > 521*10*0.1*1.01 {
+		t.Fatalf("tight bound did not bind: peak %v W", first.Extra)
+	}
+}
+
+func TestAblationGovernorLatencyHurts(t *testing.T) {
+	r, err := AblationGovernor(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast monitoring survives at least as long as 5-minute monitoring.
+	var fast, slow time.Duration
+	for _, pt := range r.Points {
+		if pt.X == 2 {
+			fast = pt.Survival
+		}
+		if pt.X == 300 {
+			slow = pt.Survival
+		}
+	}
+	if fast < slow {
+		t.Fatalf("2s monitoring (%v) should beat 5min monitoring (%v)", fast, slow)
+	}
+}
+
+func TestAblationChargingUnderAttack(t *testing.T) {
+	r, err := AblationCharging(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var online, offline time.Duration
+	for _, pt := range r.Points {
+		switch pt.Label {
+		case "online":
+			online = pt.Survival
+		case "offline":
+			offline = pt.Survival
+		}
+	}
+	if online == 0 || offline == 0 {
+		t.Fatal("missing points")
+	}
+	if online < offline {
+		t.Fatalf("online charging (%v) should not trail offline (%v)", online, offline)
+	}
+}
+
+func TestAblationDetectors(t *testing.T) {
+	r, err := AblationDetectors(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, pt := range r.Points {
+		if pt.X < 0 || pt.X > 1 || pt.Extra < 0 || pt.Extra > 1 {
+			t.Fatalf("rates out of range: %+v", pt)
+		}
+	}
+	// Both families catch the loud full-height trains outright.
+	for _, pt := range r.Points[:2] {
+		if pt.X < 0.9 || pt.Extra < 0.9 {
+			t.Fatalf("loud train under-detected: %+v", pt)
+		}
+	}
+	// The stealth train still registers on both, with the per-spike
+	// attribution penalty of CUSUM's accumulation delay visible.
+	split := r.Points[2]
+	if split.X == 0 || split.Extra == 0 {
+		t.Fatalf("stealth train missed entirely: %+v", split)
+	}
+}
+
+func TestAblationPlacementCost(t *testing.T) {
+	r, err := AblationPlacement(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher occupancy never makes the hunt cheaper for a given policy.
+	byPolicy := map[string]map[float64]float64{}
+	for _, pt := range r.Points {
+		if byPolicy[pt.Label] == nil {
+			byPolicy[pt.Label] = map[float64]float64{}
+		}
+		byPolicy[pt.Label][pt.X] = pt.Extra
+	}
+	for policy, m := range byPolicy {
+		if m[0.4] <= 0 {
+			t.Errorf("%s: no probes recorded", policy)
+		}
+	}
+}
+
+func TestAblationTopology(t *testing.T) {
+	r, err := AblationTopology(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Central UPS pays the most conversion loss; per-node DEB the least.
+	if r.Points[0].Extra <= r.Points[3].Extra {
+		t.Fatalf("central UPS loss (%v) should exceed per-node DEB (%v)",
+			r.Points[0].Extra, r.Points[3].Extra)
+	}
+}
+
+func TestAblationGranularity(t *testing.T) {
+	r, err := AblationGranularity(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Both deployments must actually use their batteries and survive a
+	// comparable stretch: the granularities hold the same total energy.
+	for _, pt := range r.Points {
+		if pt.Extra <= 0 {
+			t.Errorf("%s: no battery energy used", pt.Label)
+		}
+		if pt.Survival <= 0 {
+			t.Errorf("%s: no survival recorded", pt.Label)
+		}
+	}
+	a, b := r.Points[0].Survival, r.Points[1].Survival
+	hi, lo := a, b
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	if float64(lo) < 0.5*float64(hi) {
+		t.Fatalf("granularities diverge implausibly: %v vs %v", a, b)
+	}
+}
+
+func TestAblationJitter(t *testing.T) {
+	r, err := AblationJitter(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	regular := r.Points[0].Extra
+	heavy := r.Points[2].Extra
+	if regular == 0 {
+		t.Fatal("the regular schedule should trip the periodicity detector")
+	}
+	if heavy >= regular {
+		t.Fatalf("heavy jitter (%v flags) should evade the regular schedule's %v",
+			heavy, regular)
+	}
+}

@@ -1,0 +1,251 @@
+// Package experiments regenerates every measured table and figure of the
+// paper: the methodology experiments (Figures 5-8, 12, Table I) and the
+// evaluation (Figures 13-17), plus the Figure 1 cost CDF as a bonus. Each
+// experiment is a function of Params that returns rendered report
+// artifacts along with the raw numbers, so cmd/experiments, the test
+// suite and the benchmark harness all share one implementation.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/virus"
+)
+
+// Params control every experiment run.
+type Params struct {
+	// Seed drives all randomness. 0 selects 1.
+	Seed uint64
+	// Quick shrinks cluster sizes and horizons so the whole suite runs in
+	// seconds; shapes are preserved, absolute numbers move.
+	Quick bool
+}
+
+func (p Params) seed() uint64 {
+	if p.Seed == 0 {
+		return 1
+	}
+	return p.Seed
+}
+
+// scale picks full when !Quick, else quick.
+func scaleDur(p Params, full, quick time.Duration) time.Duration {
+	if p.Quick {
+		return quick
+	}
+	return full
+}
+
+func scaleInt(p Params, full, quick int) int {
+	if p.Quick {
+		return quick
+	}
+	return full
+}
+
+// traceBackground generates a synthetic Google-style trace for the given
+// cluster and replays it into per-server utilization series.
+func traceBackground(servers int, horizon time.Duration, step time.Duration, seed uint64, surge bool) ([]*stats.Series, error) {
+	cfg := trace.SynthConfig{
+		Machines: servers,
+		Horizon:  horizon,
+		Seed:     seed,
+	}
+	if surge {
+		cfg.SurgePeriod = 6 * time.Hour
+		cfg.SurgeWidth = 45 * time.Minute
+		cfg.SurgeBoost = 0.35
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return trace.MachineSeries(tr, step)
+}
+
+// rampBackground builds per-server utilization that wanders around a mean
+// ramping linearly from lo to hi over the horizon — the rising-demand
+// window (a morning ramp) the survival experiments attack into.
+func rampBackground(servers int, lo, hi float64, horizon time.Duration, seed uint64) []*stats.Series {
+	rng := stats.NewRNG(seed)
+	const step = 10 * time.Second
+	n := int(horizon/step) + 2
+	out := make([]*stats.Series, servers)
+	for i := range out {
+		r := rng.Split(uint64(i))
+		s := stats.NewSeries(step)
+		wander := 0.0
+		for k := 0; k < n; k++ {
+			frac := float64(k) / float64(n-1)
+			mean := lo + (hi-lo)*frac
+			wander = 0.9*wander + r.Norm(0, 0.02)
+			u := mean + wander
+			if u < 0.05 {
+				u = 0.05
+			}
+			if u > 0.98 {
+				u = 0.98
+			}
+			s.Append(u)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// burstyRampBackground layers cluster-wide "flash crowd" bursts on the
+// ramp: every burstEvery (with deterministic jitter) utilization jumps by
+// burstBoost for burstLen across all servers. Such sudden legitimate
+// surges are exactly what hardware-speed energy backup absorbs and
+// software capping (coarse monitoring plus actuation latency) does not.
+func burstyRampBackground(servers int, lo, hi float64, horizon time.Duration,
+	seed uint64, burstEvery, burstLen time.Duration, burstBoost float64) []*stats.Series {
+	base := rampBackground(servers, lo, hi, horizon, seed)
+	if burstEvery <= 0 || burstLen <= 0 || burstBoost <= 0 {
+		return base
+	}
+	rng := stats.NewRNG(seed).Split(0xb0257)
+	step := base[0].Step
+	// Burst schedule is cluster-wide: the same offsets for every server.
+	var bursts []time.Duration
+	at := time.Duration(float64(burstEvery) * (0.5 + rng.Float64()))
+	for at < horizon {
+		bursts = append(bursts, at)
+		at += time.Duration(float64(burstEvery) * (0.7 + 0.6*rng.Float64()))
+	}
+	inBurst := func(t time.Duration) bool {
+		for _, b := range bursts {
+			if t >= b && t < b+burstLen {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range base {
+		for k := range s.Values {
+			if inBurst(time.Duration(k) * step) {
+				s.Values[k] += burstBoost
+				if s.Values[k] > 0.98 {
+					s.Values[k] = 0.98
+				}
+			}
+		}
+	}
+	return base
+}
+
+// flatNoisyBackground builds per-server utilization that wanders around a
+// fixed mean.
+func flatNoisyBackground(servers int, mean float64, horizon time.Duration, seed uint64) []*stats.Series {
+	return rampBackground(servers, mean, mean, horizon, seed)
+}
+
+// fineNoisyBackground is flatNoisyBackground at 1-second resolution with
+// livelier second-scale wander — task churn as a spike-width experiment
+// sees it: whether a 1 s or a 4 s spike catches a coincident background
+// peak depends on structure at exactly this scale.
+func fineNoisyBackground(servers int, mean float64, horizon time.Duration, seed uint64) []*stats.Series {
+	rng := stats.NewRNG(seed).Split(0xf19e)
+	const step = time.Second
+	n := int(horizon/step) + 2
+	out := make([]*stats.Series, servers)
+	for i := range out {
+		r := rng.Split(uint64(i))
+		s := stats.NewSeries(step)
+		wander := 0.0
+		for k := 0; k < n; k++ {
+			wander = 0.85*wander + r.Norm(0, 0.025)
+			u := mean + wander
+			if u < 0.05 {
+				u = 0.05
+			}
+			if u > 0.98 {
+				u = 0.98
+			}
+			s.Append(u)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// emptyBatteryFactory builds rack batteries that are already drained —
+// the post-Phase-I state the threat-characterization experiments start
+// from.
+func emptyBatteryFactory(nameplate units.Watts) battery.Store {
+	cap_ := battery.SizeForAutonomy(nameplate, battery.RackCabinetAutonomy, 0, 0)
+	b := battery.MustKiBaM(battery.KiBaMConfig{
+		Capacity:     cap_,
+		InitialSOC:   0.02,
+		MaxDischarge: nameplate * 2,
+		MaxCharge:    units.Watts(float64(cap_) / 900),
+	})
+	return battery.NewLVD(b, 0.05, 0.20)
+}
+
+// microFactory builds μDEB banks holding the given fraction of the rack
+// battery cabinet's energy.
+func microFactory(fraction float64) func(nameplate, budget units.Watts) *core.MicroDEB {
+	return func(nameplate, budget units.Watts) *core.MicroDEB {
+		poolCap := battery.SizeForAutonomy(nameplate, battery.RackCabinetAutonomy, 0, 0)
+		bank := battery.NewMicroDEB(units.Joules(float64(poolCap)*fraction), nameplate)
+		u, err := core.NewMicroDEB(bank, budget)
+		if err != nil {
+			panic(err) // factory arguments are engine-controlled
+		}
+		return u
+	}
+}
+
+// defaultMicro is the μDEB sizing used outside the Figure 17 sweep: 1% of
+// the rack cabinet energy (≈0.7 Wh on the evaluated rack — the same order
+// as the paper's 0.35 Wh example bank).
+const defaultMicroFraction = 0.01
+
+// attackSpec builds a two-phase attack on the first `nodes` servers of
+// rack 0.
+func attackSpec(nodes int, cfg virus.Config) *sim.AttackSpec {
+	servers := make([]int, nodes)
+	for i := range servers {
+		servers[i] = i
+	}
+	return &sim.AttackSpec{
+		Servers: servers,
+		Attack:  virus.MustNew(cfg),
+	}
+}
+
+// schemeByName constructs one of the six evaluated schemes.
+func schemeByName(name string, opts schemes.Options) sim.Scheme {
+	switch name {
+	case "Conv":
+		return schemes.NewConv(opts)
+	case "PS":
+		return schemes.NewPS(opts)
+	case "PSPC":
+		return schemes.NewPSPC(opts)
+	case "vDEB":
+		return schemes.NewVDEB(opts)
+	case "uDEB":
+		return schemes.NewUDEB(opts)
+	case "PAD":
+		return schemes.NewPAD(opts)
+	default:
+		panic("experiments: unknown scheme " + name)
+	}
+}
+
+// SchemeNames lists the evaluated schemes in the paper's order.
+func SchemeNames() []string {
+	return []string{"Conv", "PS", "PSPC", "uDEB", "vDEB", "PAD"}
+}
+
+// needsMicro reports whether the scheme deploys μDEB hardware.
+func needsMicro(name string) bool { return name == "uDEB" || name == "PAD" }

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"repro/internal/cost"
+	"repro/internal/report"
+)
+
+// Fig1Result holds the outage-cost CDF (a bonus reproduction: Figure 1 is
+// survey background, not a system result).
+type Fig1Result struct {
+	// USD and CumulativeP are the CDF curve samples.
+	USD, CumulativeP []float64
+	Table            *report.Table
+}
+
+// Fig1 reproduces Figure 1's curve shape: the cumulative distribution of
+// data-center power failure cost per square meter per minute, sampled
+// from the heavy-tailed outage cost model.
+func Fig1(p Params) (*Fig1Result, error) {
+	n := scaleInt(p, 20000, 2000)
+	cdf := cost.OutageModel{}.SampleCDF(n, p.seed())
+	out := &Fig1Result{}
+	tbl := report.NewTable(
+		"Figure 1 — CDF of power failure cost (USD per sq. meter per minute)",
+		"USD", "CumulativeProbability")
+	for usd := 0.0; usd <= 100; usd += 5 {
+		prob := cdf.P(usd)
+		out.USD = append(out.USD, usd)
+		out.CumulativeP = append(out.CumulativeP, prob)
+		tbl.AddRow(usd, prob)
+	}
+	out.Table = tbl
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/virus"
+)
+
+// Fig12Result holds the two collected attack traces (dense vs sparse) as
+// utilization series, the inputs the paper feeds into its simulator.
+type Fig12Result struct {
+	Step          time.Duration
+	Dense, Sparse *stats.Series
+	Table         *report.Table
+}
+
+// Fig12 reproduces Figure 12: example power-virus traces for the dense
+// extensive attack and the sparse light-weight attack.
+func Fig12(p Params) (*Fig12Result, error) {
+	dur := scaleDur(p, 4*time.Minute, time.Minute)
+	const step = 100 * time.Millisecond
+	dense := virus.DenseAttack.UtilizationTrace(virus.CPUIntensive, dur, step, p.seed())
+	sparse := virus.SparseAttack.UtilizationTrace(virus.CPUIntensive, dur, step, p.seed())
+
+	tbl := report.NewTable(
+		"Figure 12 — collected attack traces (% of peak utilization)",
+		"Time(s)", "Dense", "Sparse")
+	stride := dense.Len() / 120
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < dense.Len(); i += stride {
+		tbl.AddRow(float64(i)*step.Seconds(), dense.Values[i]*100, sparse.Values[i]*100)
+	}
+	return &Fig12Result{Step: step, Dense: dense, Sparse: sparse, Table: tbl}, nil
+}

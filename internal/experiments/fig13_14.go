@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig13Result holds the DEB utilization maps (racks × time) under the
+// conventional independent-discharge design and under PAD, plus spread
+// statistics.
+type Fig13Result struct {
+	Step time.Duration
+	// ConvMap and PADMap are [rack][sample] SOC matrices.
+	ConvMap, PADMap *report.Heatmap
+	// ConvSpread and PADSpread are the mean cross-rack SOC stddevs (%).
+	ConvSpread, PADSpread float64
+	// ConvMinSOC and PADMinSOC are the worst rack SOCs seen anywhere in
+	// the map — the depth of the "dark blue" vulnerable spots.
+	ConvMinSOC, PADMinSOC float64
+	Table                 *report.Table
+}
+
+// Fig13 reproduces Figure 13: a day of trace replay, comparing the DEB
+// usage map of a conventional per-rack peak-shaving cluster against the
+// PAD-balanced pool. PAD's map shows no deep-drained (vulnerable) racks.
+func Fig13(p Params) (*Fig13Result, error) {
+	racks := scaleInt(p, 22, 8)
+	const spr = 10
+	horizon := scaleDur(p, 24*time.Hour, 6*time.Hour)
+	tick := 5 * time.Minute
+
+	bg, err := traceBackground(racks*spr, horizon, tick, p.seed(), false)
+	if err != nil {
+		return nil, err
+	}
+	run := func(s sim.Scheme) (*sim.Recording, error) {
+		cfg := sim.Config{
+			Racks:          racks,
+			ServersPerRack: spr,
+			Tick:           tick,
+			Duration:       horizon,
+			Background:     bg,
+			Record:         true,
+			DisableTrips:   true,
+		}
+		res, err := sim.Run(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		return res.Recording, nil
+	}
+	convRec, err := run(schemes.NewPS(schemes.Options{Offline: true}))
+	if err != nil {
+		return nil, err
+	}
+	padRec, err := run(schemes.NewPAD(schemes.Options{}))
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Fig13Result{Step: tick}
+	out.ConvMap, out.ConvSpread, out.ConvMinSOC = socMap("Figure 13 — conventional DEB map (racks × time)", convRec)
+	out.PADMap, out.PADSpread, out.PADMinSOC = socMap("Figure 13 — PAD-optimized DEB map (racks × time)", padRec)
+
+	tbl := report.NewTable("Figure 13 — DEB balance summary",
+		"Design", "MeanSOCSpread(%)", "WorstRackSOC(%)")
+	tbl.AddRow("Conventional", out.ConvSpread, out.ConvMinSOC*100)
+	tbl.AddRow("PAD", out.PADSpread, out.PADMinSOC*100)
+	out.Table = tbl
+	return out, nil
+}
+
+// socMap converts a recording into a heat map and spread/min statistics.
+func socMap(title string, rec *sim.Recording) (*report.Heatmap, float64, float64) {
+	n := rec.RackSOC[0].Len()
+	vals := make([][]float64, len(rec.RackSOC))
+	for r := range rec.RackSOC {
+		vals[r] = append([]float64(nil), rec.RackSOC[r].Values...)
+	}
+	spread := socSpreadSeries(rec).Mean()
+	minSOC := 1.0
+	for _, row := range vals {
+		for _, v := range row {
+			if v < minSOC {
+				minSOC = v
+			}
+		}
+	}
+	_ = n
+	return &report.Heatmap{Title: title, Values: vals, Lo: 0, Hi: 1}, spread, minSOC
+}
+
+// Fig14Result holds the load-shedding study: the surge-stressed SOC maps
+// before/after PAD and the shedding-ratio series.
+type Fig14Result struct {
+	Step time.Duration
+	// BeforeMap is the conventional design's SOC map under periodic
+	// cluster-wide surges; AfterMap is PAD's.
+	BeforeMap, AfterMap *report.Heatmap
+	// ShedRatio is PAD's shed fraction over time (≤ the 3% bound).
+	ShedRatio *stats.Series
+	// MaxShedRatio is its maximum.
+	MaxShedRatio float64
+	Table        *report.Table
+}
+
+// Fig14 reproduces Figure 14: periodic data-center-wide load surges
+// create masses of vulnerable racks in conventional designs; PAD sheds
+// under 3% of servers and flattens the battery-usage map.
+func Fig14(p Params) (*Fig14Result, error) {
+	racks := scaleInt(p, 22, 8)
+	const spr = 10
+	horizon := scaleDur(p, 24*time.Hour, 8*time.Hour)
+	tick := 5 * time.Minute
+
+	bg, err := traceBackground(racks*spr, horizon, tick, p.seed()+11, true)
+	if err != nil {
+		return nil, err
+	}
+	run := func(s sim.Scheme) (*sim.Recording, error) {
+		cfg := sim.Config{
+			Racks:           racks,
+			ServersPerRack:  spr,
+			Tick:            tick,
+			Duration:        horizon,
+			Background:      bg,
+			Record:          true,
+			DisableTrips:    true,
+			MicroDEBFactory: microFactory(defaultMicroFraction),
+		}
+		res, err := sim.Run(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		return res.Recording, nil
+	}
+	before, err := run(schemes.NewPS(schemes.Options{Offline: true}))
+	if err != nil {
+		return nil, err
+	}
+	after, err := run(schemes.NewPAD(schemes.Options{}))
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Fig14Result{Step: tick, ShedRatio: after.ShedRatio}
+	var beforeSpread, afterSpread float64
+	var beforeMin, afterMin float64
+	out.BeforeMap, beforeSpread, beforeMin = socMap("Figure 14A — conventional SOC map under periodic surges", before)
+	out.AfterMap, afterSpread, afterMin = socMap("Figure 14C — PAD SOC map with ≤3% shedding", after)
+	for _, v := range after.ShedRatio.Values {
+		if v > out.MaxShedRatio {
+			out.MaxShedRatio = v
+		}
+	}
+	tbl := report.NewTable("Figure 14 — load shedding summary",
+		"Design", "MeanSOCSpread(%)", "WorstRackSOC(%)", "MaxShedRatio(%)")
+	tbl.AddRow("Conventional", beforeSpread, beforeMin*100, 0.0)
+	tbl.AddRow("PAD", afterSpread, afterMin*100, out.MaxShedRatio*100)
+	out.Table = tbl
+	return out, nil
+}

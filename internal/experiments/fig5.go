@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig5Result holds the Figure 5 reproduction: the standard deviation of
+// battery SOC across the rack fleet at every 5-minute timestamp, under
+// online vs offline charging.
+type Fig5Result struct {
+	// Step is the sampling period.
+	Step time.Duration
+	// Online and Offline are the SOC-stddev time series (percent).
+	Online, Offline *stats.Series
+	// Table summarizes both series, downsampled for readability.
+	Table *report.Table
+}
+
+// Fig5 reproduces Figure 5: uneven utilization of distributed batteries.
+// A PS-managed cluster replays the trace for the horizon; at each
+// timestamp the standard deviation of the 22 rack SOCs is computed. The
+// paper reports 3–12% variation for online charging and roughly double
+// for offline charging.
+func Fig5(p Params) (*Fig5Result, error) {
+	racks := scaleInt(p, 22, 8)
+	spr := 10
+	horizon := scaleDur(p, 14*24*time.Hour, 36*time.Hour)
+	tick := 5 * time.Minute
+
+	bg, err := traceBackground(racks*spr, horizon, tick, p.seed(), false)
+	if err != nil {
+		return nil, err
+	}
+	run := func(offline bool) (*stats.Series, error) {
+		cfg := sim.Config{
+			Racks:          racks,
+			ServersPerRack: spr,
+			// Gentler oversubscription: only diurnal peaks discharge, so
+			// batteries cycle rather than bottom out fleet-wide.
+			OversubscriptionRatio: 0.84,
+			Tick:                  tick,
+			Duration:              horizon,
+			Background:            bg,
+			Record:                true,
+			RecordStep:            tick,
+			DisableTrips:          true,
+		}
+		res, err := sim.Run(cfg, schemes.NewPS(schemes.Options{
+			Offline: offline,
+			// A deep recharge trigger: racks that only dip part-way stay
+			// part-charged, which is what makes offline charging uneven.
+			OfflineThreshold: 0.15,
+		}))
+		if err != nil {
+			return nil, err
+		}
+		return socSpreadSeries(res.Recording), nil
+	}
+	online, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	offline, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := report.NewTable(
+		"Figure 5 — stddev of rack battery SOC (%) over time, online vs offline charging",
+		"Timestamp(x5min)", "Online(%)", "Offline(%)")
+	stride := online.Len() / 48
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < online.Len(); i += stride {
+		tbl.AddRow(i, online.Values[i], offline.Values[i])
+	}
+	tbl.AddRow("mean", online.Mean(), offline.Mean())
+	tbl.AddRow("max", online.Max(), offline.Max())
+	return &Fig5Result{Step: tick, Online: online, Offline: offline, Table: tbl}, nil
+}
+
+// socSpreadSeries computes the cross-rack SOC standard deviation (in
+// percent) at each recorded sample.
+func socSpreadSeries(rec *sim.Recording) *stats.Series {
+	out := stats.NewSeries(rec.Step)
+	if len(rec.RackSOC) == 0 {
+		return out
+	}
+	n := rec.RackSOC[0].Len()
+	socs := make([]float64, len(rec.RackSOC))
+	for s := 0; s < n; s++ {
+		for r := range rec.RackSOC {
+			socs[r] = rec.RackSOC[r].Values[s]
+		}
+		out.Append(stats.StdDev(socs) * 100)
+	}
+	return out
+}

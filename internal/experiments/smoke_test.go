@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestSmokeAll prints every experiment's table in Quick mode; used during
+// calibration, superseded by the targeted assertions in the other tests.
+func TestSmokeAll(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("set SMOKE=1 to run")
+	}
+	p := Params{Quick: true}
+	if r, err := Fig5(p); err != nil {
+		t.Error(err)
+	} else {
+		t.Log("\n" + r.Table.String())
+	}
+	if r, err := Fig6(p); err != nil {
+		t.Error(err)
+	} else {
+		t.Logf("phaseII=%v learned=%v\n%s", r.PhaseIIStart, r.LearnedDrain, r.Table.String())
+	}
+	if r, err := Fig7(p); err != nil {
+		t.Error(err)
+	} else {
+		t.Logf("effective=%d", r.EffectiveAttacks)
+	}
+	if r, err := Fig8A(p); err != nil {
+		t.Error(err)
+	} else {
+		t.Log("\n" + r.Table.String())
+	}
+	if r, err := Table1(p); err != nil {
+		t.Error(err)
+	} else {
+		t.Log("\n" + r.Table.String())
+	}
+	if r, err := Fig15(p); err != nil {
+		t.Error(err)
+	} else {
+		t.Log("\n" + r.Table.String())
+	}
+	if r, err := Fig17(p); err != nil {
+		t.Error(err)
+	} else {
+		t.Log("\n" + r.Table.String())
+	}
+}

@@ -1,0 +1,102 @@
+package metering
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestCUSUMColdStart(t *testing.T) {
+	d := NewCUSUMDetector(0)
+	if d.Observe(IntervalReading{Avg: 1000}) {
+		t.Fatal("first observation seeds the baseline")
+	}
+	if d.Baseline() != 1000 {
+		t.Fatalf("baseline = %v", d.Baseline())
+	}
+}
+
+func TestCUSUMAccumulatesSubThresholdExcess(t *testing.T) {
+	// A persistent 1% excess is invisible to a single-interval threshold
+	// of 3% but accumulates to a CUSUM flag within a handful of intervals.
+	d := NewCUSUMDetector(1000)
+	flagged := -1
+	for i := 0; i < 20; i++ {
+		if d.Observe(IntervalReading{Avg: 1010}) {
+			flagged = i
+			break
+		}
+	}
+	if flagged < 0 {
+		t.Fatal("persistent 1% excess never flagged")
+	}
+	// (1% - 0.5% slack) per interval → 0.03 decision in 6 intervals.
+	if flagged > 8 {
+		t.Fatalf("flag delayed to interval %d", flagged)
+	}
+}
+
+func TestCUSUMIgnoresNoise(t *testing.T) {
+	d := NewCUSUMDetector(1000)
+	// Zero-mean wobble inside the slack never flags.
+	vals := []float64{1003, 997, 1004, 996, 1002, 998, 1004, 996}
+	for i := 0; i < 40; i++ {
+		if d.Observe(IntervalReading{Avg: units.Watts(vals[i%len(vals)])}) {
+			t.Fatalf("noise flagged at %d", i)
+		}
+	}
+}
+
+func TestCUSUMResetsAfterFlag(t *testing.T) {
+	d := NewCUSUMDetector(1000)
+	count := 0
+	for i := 0; i < 30; i++ {
+		if d.Observe(IntervalReading{Avg: 1015}) {
+			count++
+		}
+	}
+	if count < 2 {
+		t.Fatalf("sustained excess should flag repeatedly, got %d", count)
+	}
+	if d.Flags() != count {
+		t.Fatalf("flag counter %d vs %d observed", d.Flags(), count)
+	}
+	if d.Observed() != 30 {
+		t.Fatalf("observed = %d", d.Observed())
+	}
+}
+
+func TestCUSUMBaselineTracksQuietDrift(t *testing.T) {
+	d := NewCUSUMDetector(1000)
+	v := 1000.0
+	for i := 0; i < 400; i++ {
+		v *= 1.0003
+		d.Observe(IntervalReading{Avg: units.Watts(v)})
+	}
+	if float64(d.Baseline()) < v*0.9 {
+		t.Fatalf("baseline %v did not track drift to %v", d.Baseline(), v)
+	}
+}
+
+func TestCUSUMVsThresholdOnStealthyTrain(t *testing.T) {
+	// A spike train whose interval averages sit at 0.8% excess: under the
+	// 1% threshold detector's radar, but cumulative for CUSUM.
+	th := NewDetector(1000)
+	cu := NewCUSUMDetector(1000)
+	thFlags, cuFlags := 0, 0
+	for i := 0; i < 60; i++ {
+		r := IntervalReading{Avg: 1008}
+		if th.Observe(r) {
+			thFlags++
+		}
+		if cu.Observe(r) {
+			cuFlags++
+		}
+	}
+	if thFlags != 0 {
+		t.Fatalf("threshold detector should miss 0.8%% excess, flagged %d", thFlags)
+	}
+	if cuFlags == 0 {
+		t.Fatal("CUSUM should catch the persistent 0.8% excess")
+	}
+}

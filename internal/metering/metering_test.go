@@ -1,0 +1,199 @@
+package metering
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestMeterValidation(t *testing.T) {
+	if _, err := NewMeter(0, 0, 1); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := NewMeter(time.Second, -1, 1); err == nil {
+		t.Error("negative noise should fail")
+	}
+}
+
+func TestMeterAveragesExactly(t *testing.T) {
+	m, _ := NewMeter(10*time.Second, 0, 1)
+	var readings []IntervalReading
+	// 5 s at 100 W then 5 s at 300 W: average 200 W.
+	readings = append(readings, m.Record(100, 5*time.Second)...)
+	readings = append(readings, m.Record(300, 5*time.Second)...)
+	if len(readings) != 1 {
+		t.Fatalf("readings = %d, want 1", len(readings))
+	}
+	if got := readings[0].Avg; math.Abs(float64(got-200)) > 1e-9 {
+		t.Fatalf("avg = %v, want 200", got)
+	}
+	if readings[0].Start != 0 {
+		t.Fatalf("start = %v, want 0", readings[0].Start)
+	}
+}
+
+func TestMeterSpansMultipleIntervals(t *testing.T) {
+	m, _ := NewMeter(time.Second, 0, 1)
+	readings := m.Record(500, 3500*time.Millisecond)
+	if len(readings) != 3 {
+		t.Fatalf("readings = %d, want 3", len(readings))
+	}
+	for i, r := range readings {
+		if math.Abs(float64(r.Avg-500)) > 1e-9 {
+			t.Errorf("reading %d avg = %v", i, r.Avg)
+		}
+		if r.Start != time.Duration(i)*time.Second {
+			t.Errorf("reading %d start = %v", i, r.Start)
+		}
+	}
+}
+
+func TestMeterPartialIntervalPending(t *testing.T) {
+	m, _ := NewMeter(10*time.Second, 0, 1)
+	if got := m.Record(100, 9*time.Second); len(got) != 0 {
+		t.Fatalf("incomplete interval emitted %d readings", len(got))
+	}
+	got := m.Record(100, time.Second)
+	if len(got) != 1 {
+		t.Fatalf("completion emitted %d readings", len(got))
+	}
+}
+
+func TestMeterNoiseAveragesDown(t *testing.T) {
+	spread := func(interval time.Duration) float64 {
+		m, _ := NewMeter(interval, 50, 42)
+		var vals []float64
+		for len(vals) < 200 {
+			for _, r := range m.Record(1000, interval) {
+				vals = append(vals, float64(r.Avg))
+			}
+		}
+		sum, sum2 := 0.0, 0.0
+		for _, v := range vals {
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / float64(len(vals))
+		return math.Sqrt(sum2/float64(len(vals)) - mean*mean)
+	}
+	fine := spread(time.Second)
+	coarse := spread(100 * time.Second)
+	if coarse >= fine/3 {
+		t.Fatalf("noise should shrink ~10x from 1s to 100s: fine %v, coarse %v", fine, coarse)
+	}
+}
+
+func TestDetectorFlagsExcess(t *testing.T) {
+	d := NewDetector(1000)
+	if d.Observe(IntervalReading{Avg: 1005}) {
+		t.Error("0.5% excess should not flag at 1% threshold")
+	}
+	if !d.Observe(IntervalReading{Avg: 1020}) {
+		t.Error("2% excess should flag")
+	}
+	if d.Flags() != 1 || d.Observed() != 2 {
+		t.Errorf("counters: flags=%d observed=%d", d.Flags(), d.Observed())
+	}
+}
+
+func TestDetectorColdStart(t *testing.T) {
+	d := NewDetector(0)
+	if d.Observe(IntervalReading{Avg: 800}) {
+		t.Error("first observation seeds the baseline, never flags")
+	}
+	if got := d.Baseline(); got != 800 {
+		t.Errorf("baseline = %v, want 800", got)
+	}
+	if !d.Observe(IntervalReading{Avg: 900}) {
+		t.Error("12.5% excess should flag")
+	}
+}
+
+func TestDetectorBaselineAdaptsOnlyOnQuietIntervals(t *testing.T) {
+	d := NewDetector(1000)
+	before := d.Baseline()
+	d.Observe(IntervalReading{Avg: 2000}) // flagged: must not train baseline
+	if d.Baseline() != before {
+		t.Fatal("flagged interval trained the baseline")
+	}
+	d.Observe(IntervalReading{Avg: 1005}) // quiet: trains baseline
+	if d.Baseline() <= before {
+		t.Fatal("quiet interval should nudge the baseline up")
+	}
+}
+
+func TestDetectorTracksSlowDrift(t *testing.T) {
+	d := NewDetector(1000)
+	// Load drifts up 0.05% per interval: never flags, baseline follows.
+	v := 1000.0
+	for i := 0; i < 500; i++ {
+		v *= 1.0005
+		if d.Observe(IntervalReading{Avg: units.Watts(v)}) {
+			t.Fatalf("slow drift flagged at interval %d", i)
+		}
+	}
+	if float64(d.Baseline()) < v*0.8 {
+		t.Fatalf("baseline %v failed to track drift to %v", d.Baseline(), v)
+	}
+}
+
+func TestDetectionRate(t *testing.T) {
+	interval := 10 * time.Second
+	spikes := []time.Duration{
+		2 * time.Second,  // interval 0
+		15 * time.Second, // interval 1
+		25 * time.Second, // interval 2
+		55 * time.Second, // interval 5
+	}
+	flagged := []IntervalReading{
+		{Start: 0},
+		{Start: 20 * time.Second},
+	}
+	got := DetectionRate(spikes, flagged, interval)
+	if got != 0.5 {
+		t.Fatalf("DetectionRate = %v, want 0.5", got)
+	}
+	if DetectionRate(nil, flagged, interval) != 0 {
+		t.Error("no spikes should yield rate 0")
+	}
+	if DetectionRate(spikes, nil, interval) != 0 {
+		t.Error("no flags should yield rate 0")
+	}
+}
+
+func TestEndToEndSpikeVisibilityByInterval(t *testing.T) {
+	// A synthetic rack: 4 kW baseline, 4 s / 600 W spikes every 10 s.
+	// A 5 s meter sees interval averages jump ~9–12%; a 5-minute meter sees
+	// ~2.4% — both above a 1% threshold here, but the fine meter flags only
+	// spike intervals while the coarse meter flags everything, showing why
+	// coarse metering cannot localize spikes.
+	run := func(interval time.Duration) (rate float64) {
+		m, _ := NewMeter(interval, 0, 7)
+		d := NewDetector(4000)
+		var spikes []time.Duration
+		var flagged []IntervalReading
+		const tick = time.Second
+		for at := time.Duration(0); at < 10*time.Minute; at += tick {
+			p := units.Watts(4000)
+			inSpike := at%(10*time.Second) < 4*time.Second
+			if inSpike {
+				p += 600
+				if at%(10*time.Second) == 0 {
+					spikes = append(spikes, at)
+				}
+			}
+			for _, r := range m.Record(p, tick) {
+				if d.Observe(r) {
+					flagged = append(flagged, r)
+				}
+			}
+		}
+		return DetectionRate(spikes, flagged, interval)
+	}
+	fine := run(5 * time.Second)
+	if fine < 0.9 {
+		t.Errorf("fine meter should detect nearly all dense spikes, got %v", fine)
+	}
+}

@@ -1,0 +1,153 @@
+package metering
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// PeriodicityDetector hunts the one signature a disciplined spike train
+// cannot hide from energy averages alone: its clock. It keeps a sliding
+// window of baseline residuals and flags when their autocorrelation shows
+// a strong repeating component — even if every individual interval stays
+// under an amplitude threshold. An attacker can defeat it by randomizing
+// spike timing (virus.Config.PhaseJitter), trading schedule regularity
+// for stealth; the ablation experiments quantify that trade.
+type PeriodicityDetector struct {
+	// Window is the number of intervals analyzed. 0 selects 120.
+	Window int
+	// MinLag/MaxLag bound the searched periods in intervals. Zeros select
+	// 2 and Window/3.
+	MinLag, MaxLag int
+	// Threshold is the normalized autocorrelation that triggers a flag.
+	// 0 selects 0.4.
+	Threshold float64
+	// Alpha is the baseline EWMA weight. 0 selects 0.05.
+	Alpha float64
+
+	baseline    float64
+	initialized bool
+	residuals   []float64
+	flags       int
+	observed    int
+	lastPeriod  int
+}
+
+// NewPeriodicityDetector creates a detector seeded with the expected
+// baseline (0 lets the first observation seed it).
+func NewPeriodicityDetector(baseline units.Watts) *PeriodicityDetector {
+	d := &PeriodicityDetector{}
+	if baseline > 0 {
+		d.baseline = float64(baseline)
+		d.initialized = true
+	}
+	return d
+}
+
+func (d *PeriodicityDetector) window() int {
+	if d.Window == 0 {
+		return 120
+	}
+	return d.Window
+}
+
+func (d *PeriodicityDetector) minLag() int {
+	if d.MinLag == 0 {
+		return 2
+	}
+	return d.MinLag
+}
+
+func (d *PeriodicityDetector) maxLag() int {
+	if d.MaxLag == 0 {
+		return d.window() / 3
+	}
+	return d.MaxLag
+}
+
+func (d *PeriodicityDetector) threshold() float64 {
+	if d.Threshold == 0 {
+		return 0.4
+	}
+	return d.Threshold
+}
+
+func (d *PeriodicityDetector) alpha() float64 {
+	if d.Alpha == 0 {
+		return 0.05
+	}
+	return d.Alpha
+}
+
+// Observe processes one interval reading and reports whether the window's
+// residuals currently exhibit a periodic component.
+func (d *PeriodicityDetector) Observe(r IntervalReading) bool {
+	d.observed++
+	if !d.initialized {
+		d.baseline = float64(r.Avg)
+		d.initialized = true
+		return false
+	}
+	residual := float64(r.Avg) - d.baseline
+	d.baseline += d.alpha() * residual
+	d.residuals = append(d.residuals, residual)
+	if len(d.residuals) > d.window() {
+		d.residuals = d.residuals[1:]
+	}
+	if len(d.residuals) < d.window() {
+		return false
+	}
+	lag, score := peakAutocorrelation(d.residuals, d.minLag(), d.maxLag())
+	if score >= d.threshold() {
+		d.flags++
+		d.lastPeriod = lag
+		return true
+	}
+	return false
+}
+
+// Flags reports how many windows were flagged periodic.
+func (d *PeriodicityDetector) Flags() int { return d.flags }
+
+// Observed reports how many intervals were processed.
+func (d *PeriodicityDetector) Observed() int { return d.observed }
+
+// DetectedPeriod reports the lag (in intervals) of the last flag, or 0.
+func (d *PeriodicityDetector) DetectedPeriod() int { return d.lastPeriod }
+
+// peakAutocorrelation returns the lag in [minLag, maxLag] with the highest
+// normalized autocorrelation of xs, and that score.
+func peakAutocorrelation(xs []float64, minLag, maxLag int) (bestLag int, bestScore float64) {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var denom float64
+	for _, x := range xs {
+		d := x - mean
+		denom += d * d
+	}
+	if denom == 0 {
+		return 0, 0
+	}
+	for lag := minLag; lag <= maxLag; lag++ {
+		var num float64
+		for i := lag; i < n; i++ {
+			num += (xs[i] - mean) * (xs[i-lag] - mean)
+		}
+		score := num / denom
+		if score > bestScore {
+			bestScore = score
+			bestLag = lag
+		}
+	}
+	if math.IsNaN(bestScore) {
+		return 0, 0
+	}
+	return bestLag, bestScore
+}

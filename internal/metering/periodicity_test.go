@@ -1,0 +1,118 @@
+package metering
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// feedSpikes drives the detector with a spike train: period intervals
+// between spike starts, spikeLen intervals of +amp, optional per-cycle
+// timing jitter drawn from rng.
+func feedSpikes(d *PeriodicityDetector, cycles, period, spikeLen int,
+	amp float64, jitter int, rng *stats.RNG) int {
+	flags := 0
+	for c := 0; c < cycles; c++ {
+		gap := period - spikeLen
+		if jitter > 0 {
+			gap += rng.Intn(2*jitter+1) - jitter
+			if gap < 1 {
+				gap = 1
+			}
+		}
+		for i := 0; i < spikeLen; i++ {
+			if d.Observe(IntervalReading{Avg: units.Watts(4000 + amp)}) {
+				flags++
+			}
+		}
+		for i := 0; i < gap; i++ {
+			if d.Observe(IntervalReading{Avg: 4000}) {
+				flags++
+			}
+		}
+	}
+	return flags
+}
+
+func TestPeriodicityDetectsRegularTrain(t *testing.T) {
+	d := NewPeriodicityDetector(4000)
+	// A sub-1% spike train (30 W on 4 kW) the threshold detector ignores,
+	// but perfectly periodic: 2 intervals up every 10.
+	flags := feedSpikes(d, 40, 10, 2, 30, 0, nil)
+	if flags == 0 {
+		t.Fatal("regular spike train never flagged")
+	}
+	if p := d.DetectedPeriod(); p < 8 || p > 12 {
+		t.Fatalf("detected period %d, want ~10", p)
+	}
+}
+
+func TestPeriodicityIgnoresNoise(t *testing.T) {
+	d := NewPeriodicityDetector(4000)
+	rng := stats.NewRNG(7)
+	flags := 0
+	for i := 0; i < 400; i++ {
+		if d.Observe(IntervalReading{Avg: units.Watts(4000 + rng.Norm(0, 30))}) {
+			flags++
+		}
+	}
+	if flags > 8 { // 2% false positive budget
+		t.Fatalf("white noise flagged %d of 400 windows", flags)
+	}
+}
+
+func TestPeriodicityIgnoresFlatLoad(t *testing.T) {
+	d := NewPeriodicityDetector(4000)
+	for i := 0; i < 300; i++ {
+		if d.Observe(IntervalReading{Avg: 4000}) {
+			t.Fatalf("flat load flagged at %d", i)
+		}
+	}
+}
+
+func TestPhaseJitterEvadesPeriodicity(t *testing.T) {
+	regular := NewPeriodicityDetector(4000)
+	jittered := NewPeriodicityDetector(4000)
+	rng := stats.NewRNG(11)
+	regFlags := feedSpikes(regular, 60, 10, 2, 30, 0, nil)
+	jitFlags := feedSpikes(jittered, 60, 10, 2, 30, 4, rng)
+	if regFlags == 0 {
+		t.Fatal("regular train should be caught")
+	}
+	if jitFlags >= regFlags/2 {
+		t.Fatalf("±40%% timing jitter should gut periodicity detection: %d vs %d",
+			jitFlags, regFlags)
+	}
+}
+
+func TestPeriodicityColdStart(t *testing.T) {
+	d := NewPeriodicityDetector(0)
+	if d.Observe(IntervalReading{Avg: 4000}) {
+		t.Fatal("first observation seeds the baseline")
+	}
+	if d.Observed() != 1 {
+		t.Fatal("observation counter wrong")
+	}
+}
+
+func TestPeakAutocorrelation(t *testing.T) {
+	// Perfect period-4 signal.
+	xs := make([]float64, 80)
+	for i := range xs {
+		if i%4 == 0 {
+			xs[i] = 1
+		}
+	}
+	lag, score := peakAutocorrelation(xs, 2, 20)
+	if lag != 4 {
+		t.Fatalf("lag = %d, want 4", lag)
+	}
+	if score < 0.5 {
+		t.Fatalf("score = %v, want strong", score)
+	}
+	// Constant signal has zero autocorrelation energy.
+	if _, s := peakAutocorrelation(make([]float64, 50), 2, 10); s != 0 {
+		t.Fatalf("constant signal score = %v", s)
+	}
+}

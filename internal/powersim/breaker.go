@@ -1,0 +1,144 @@
+package powersim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Breaker is a thermal-magnetic circuit breaker with inverse-time trip
+// behaviour: brief small overloads are tolerated, sustained overloads trip
+// within seconds, and extreme overloads trip instantly (the magnetic
+// element). The paper's attack succeeds exactly when it defeats this
+// model: "tripping a circuit breaker is not an instantaneous event … once
+// the overload exceeds certain threshold, it requires very short time
+// (several seconds)".
+//
+// The thermal element integrates H' = (P/Prated)² − 1 while overloaded and
+// cools exponentially otherwise; the breaker trips when H reaches
+// TripHeat.
+type Breaker struct {
+	// Rated is the continuous power rating.
+	Rated units.Watts
+	// TripHeat is the thermal trip threshold in "overload-seconds".
+	// At a 2× overload the heat grows at 3/s, so TripHeat 10 trips in
+	// ~3.3 s. 0 selects 10.
+	TripHeat float64
+	// CoolTau is the exponential cooling time constant. 0 selects 300 s:
+	// the bimetal element of a molded-case breaker holds heat for
+	// minutes, which is why spike trains that individually look harmless
+	// accumulate toward a trip.
+	CoolTau time.Duration
+	// InstantMultiple is the magnetic instant-trip threshold as a multiple
+	// of Rated. 0 selects 6.
+	InstantMultiple float64
+
+	heat      float64
+	tripped   bool
+	trippedAt time.Duration
+	elapsed   time.Duration
+}
+
+// NewBreaker returns a breaker with the given continuous rating and
+// documented default trip characteristics.
+func NewBreaker(rated units.Watts) *Breaker {
+	return &Breaker{Rated: rated}
+}
+
+func (b *Breaker) tripHeat() float64 {
+	if b.TripHeat == 0 {
+		return 10
+	}
+	return b.TripHeat
+}
+
+func (b *Breaker) coolTau() time.Duration {
+	if b.CoolTau == 0 {
+		return 300 * time.Second
+	}
+	return b.CoolTau
+}
+
+func (b *Breaker) instantMultiple() float64 {
+	if b.InstantMultiple == 0 {
+		return 6
+	}
+	return b.InstantMultiple
+}
+
+// Validate reports a configuration error, if any.
+func (b *Breaker) Validate() error {
+	if b.Rated <= 0 {
+		return fmt.Errorf("powersim: breaker rating must be positive, got %v", b.Rated)
+	}
+	if b.TripHeat < 0 || b.InstantMultiple < 0 || b.CoolTau < 0 {
+		return fmt.Errorf("powersim: breaker trip parameters must be non-negative")
+	}
+	return nil
+}
+
+// Step advances the breaker by dt carrying the given load and reports
+// whether the breaker is (now or already) tripped. A tripped breaker
+// stays tripped until Reset.
+func (b *Breaker) Step(load units.Watts, dt time.Duration) bool {
+	if b.tripped {
+		b.elapsed += dt
+		return true
+	}
+	ratio := float64(load) / float64(b.Rated)
+	if ratio >= b.instantMultiple() {
+		b.trip()
+		b.elapsed += dt
+		return true
+	}
+	s := dt.Seconds()
+	if ratio > 1 {
+		b.heat += (ratio*ratio - 1) * s
+	} else {
+		b.heat *= math.Exp(-s / b.coolTau().Seconds())
+	}
+	b.elapsed += dt
+	if b.heat >= b.tripHeat() {
+		b.trip()
+		return true
+	}
+	return false
+}
+
+func (b *Breaker) trip() {
+	b.tripped = true
+	b.trippedAt = b.elapsed
+}
+
+// Tripped reports whether the breaker has tripped.
+func (b *Breaker) Tripped() bool { return b.tripped }
+
+// TrippedAt returns the elapsed simulation offset at which the breaker
+// tripped. It is only meaningful when Tripped reports true.
+func (b *Breaker) TrippedAt() time.Duration { return b.trippedAt }
+
+// Heat returns the current thermal accumulator value (diagnostics).
+func (b *Breaker) Heat() float64 { return b.heat }
+
+// Reset re-closes the breaker and clears its thermal state (an operator
+// action after an outage).
+func (b *Breaker) Reset() {
+	b.tripped = false
+	b.heat = 0
+}
+
+// TimeToTrip returns how long a constant overload at ratio×Rated takes to
+// trip a cold breaker, or a negative duration if it never trips
+// (ratio <= 1). Instant-trip overloads return 0.
+func (b *Breaker) TimeToTrip(ratio float64) time.Duration {
+	if ratio >= b.instantMultiple() {
+		return 0
+	}
+	if ratio <= 1 {
+		return -1
+	}
+	secs := b.tripHeat() / (ratio*ratio - 1)
+	return time.Duration(secs * float64(time.Second))
+}

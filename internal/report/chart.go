@@ -1,0 +1,169 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// LineChart renders one or more numeric series as an ASCII plot — enough
+// to eyeball the shape of a reproduced figure straight from a terminal.
+type LineChart struct {
+	Title  string
+	Height int // rows of plot area; 0 selects 12
+	Width  int // columns of plot area; 0 selects 72
+	// Series are drawn in order; each gets a distinct glyph.
+	Series []ChartSeries
+	// YMin/YMax fix the axis range; both zero auto-scales.
+	YMin, YMax float64
+}
+
+// ChartSeries is one named line.
+type ChartSeries struct {
+	Name   string
+	Values []float64
+}
+
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+func (c *LineChart) dims() (h, w int) {
+	h, w = c.Height, c.Width
+	if h == 0 {
+		h = 12
+	}
+	if w == 0 {
+		w = 72
+	}
+	return h, w
+}
+
+// Render writes the chart to wr.
+func (c *LineChart) Render(wr io.Writer) error {
+	h, w := c.dims()
+	lo, hi := c.YMin, c.YMax
+	if lo == 0 && hi == 0 {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if math.IsInf(lo, 1) {
+			lo, hi = 0, 1
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	maxLen := 0
+	for _, s := range c.Series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	for si, s := range c.Series {
+		glyph := chartGlyphs[si%len(chartGlyphs)]
+		for i, v := range s.Values {
+			col := 0
+			if maxLen > 1 {
+				col = i * (w - 1) / (maxLen - 1)
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(h-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= h {
+				row = h - 1
+			}
+			grid[row][col] = glyph
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", hi, string(grid[0]))
+	for r := 1; r < h-1; r++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", lo, string(grid[h-1]))
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", w))
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", chartGlyphs[si%len(chartGlyphs)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%12s%s\n", "", strings.Join(legend, "   "))
+	}
+	_, err := io.WriteString(wr, b.String())
+	return err
+}
+
+// String renders the chart to a string.
+func (c *LineChart) String() string {
+	var b strings.Builder
+	_ = c.Render(&b)
+	return b.String()
+}
+
+// BarChart renders labeled values as horizontal bars (the survival-time
+// figure in text form).
+type BarChart struct {
+	Title string
+	Width int // bar area columns; 0 selects 50
+	Bars  []Bar
+}
+
+// Bar is one labeled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Render writes the chart to wr.
+func (c *BarChart) Render(wr io.Writer) error {
+	width := c.Width
+	if width == 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, b := range c.Bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for _, b := range c.Bars {
+		n := int(math.Round(b.Value / maxVal * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s │%s %.4g\n", maxLabel, b.Label,
+			strings.Repeat("█", n), b.Value)
+	}
+	_, err := io.WriteString(wr, sb.String())
+	return err
+}
+
+// String renders the chart to a string.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	_ = c.Render(&b)
+	return b.String()
+}

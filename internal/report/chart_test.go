@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartRenders(t *testing.T) {
+	c := &LineChart{
+		Title: "demo",
+		Series: []ChartSeries{
+			{Name: "rise", Values: []float64{0, 1, 2, 3, 4}},
+			{Name: "fall", Values: []float64{4, 3, 2, 1, 0}},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* rise") || !strings.Contains(out, "o fall") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// Both glyphs appear in the plot body.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("glyphs missing")
+	}
+	// Axis labels carry the auto-scaled range.
+	if !strings.Contains(out, "4") || !strings.Contains(out, "0") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 12 rows + axis + legend = 15
+	if len(lines) != 15 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestLineChartShape(t *testing.T) {
+	// A rising series puts its first point on the bottom row and its last
+	// on the top row.
+	c := &LineChart{Height: 5, Width: 10,
+		Series: []ChartSeries{{Name: "s", Values: []float64{0, 1, 2, 3}}}}
+	out := c.String()
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[0], lines[4]
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "*") {
+		t.Errorf("max should land at the right of the top row: %q", top)
+	}
+	if !strings.Contains(bottom, "┤*") {
+		t.Errorf("min should land at the left of the bottom row: %q", bottom)
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	// Empty series, flat series and fixed ranges must not panic and must
+	// produce output.
+	cases := []*LineChart{
+		{},
+		{Series: []ChartSeries{{Name: "flat", Values: []float64{5, 5, 5}}}},
+		{YMin: 0, YMax: 10, Series: []ChartSeries{{Name: "clip", Values: []float64{-5, 15}}}},
+		{Series: []ChartSeries{{Name: "one", Values: []float64{3}}}},
+	}
+	for i, c := range cases {
+		if out := c.String(); out == "" {
+			t.Errorf("case %d produced no output", i)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{
+		Title: "survival",
+		Width: 20,
+		Bars: []Bar{
+			{Label: "Conv", Value: 100},
+			{Label: "PAD", Value: 400},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "survival") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	convBar := strings.Count(lines[1], "█")
+	padBar := strings.Count(lines[2], "█")
+	if padBar != 20 {
+		t.Errorf("max bar should fill the width, got %d", padBar)
+	}
+	if convBar != 5 {
+		t.Errorf("Conv bar = %d, want 5 (100/400 of 20)", convBar)
+	}
+	if !strings.Contains(lines[1], "100") || !strings.Contains(lines[2], "400") {
+		t.Error("values missing")
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	if out := (&BarChart{}).String(); out != "" {
+		t.Errorf("empty chart should render nothing, got %q", out)
+	}
+	out := (&BarChart{Bars: []Bar{{Label: "zero", Value: 0}, {Label: "neg", Value: -5}}}).String()
+	if out == "" {
+		t.Error("degenerate bars should still render rows")
+	}
+}

@@ -1,0 +1,178 @@
+// Package report renders experiment results as aligned ASCII tables, CSV
+// series and ASCII heat maps — the forms cmd/experiments emits for every
+// figure and table in the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (title as a comment line).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	writeCSVRow(&b, t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+}
+
+// Heatmap renders a matrix (rows × columns of values in [lo, hi]) as an
+// ASCII shade map, the textual analogue of the paper's Figure 13/14 DEB
+// utilization maps.
+type Heatmap struct {
+	Title  string
+	Values [][]float64 // [row][col]
+	Lo, Hi float64
+}
+
+// shades from empty to full.
+var shades = []byte(" .:-=+*#%@")
+
+// Render writes the heat map to w, one text row per matrix row.
+func (h *Heatmap) Render(w io.Writer) error {
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	span := h.Hi - h.Lo
+	if span <= 0 {
+		span = 1
+	}
+	for i, row := range h.Values {
+		fmt.Fprintf(&b, "%3d |", i)
+		for _, v := range row {
+			idx := int((v - h.Lo) / span * float64(len(shades)))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the heat map to a string.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	_ = h.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the raw matrix as CSV.
+func (h *Heatmap) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", h.Title)
+	}
+	for _, row := range h.Values {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

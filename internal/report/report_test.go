@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "Scheme", "Survival")
+	tbl.AddRow("Conv", 140.0)
+	tbl.AddRow("PAD", 1500.0)
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "Scheme") || !strings.Contains(out, "Survival") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(out, "Conv") || !strings.Contains(out, "1.5e+03") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("", "A", "LongHeader")
+	tbl.AddRow("xxxxxxxx", 1)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and data rows should be the same width.
+	if len(lines[0]) != len(lines[2]) {
+		t.Errorf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("T", "a", "b")
+	tbl.AddRow("x,y", `say "hi"`)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# T\n") {
+		t.Error("comment title missing")
+	}
+	if !strings.Contains(out, `"x,y"`) {
+		t.Error("comma cell not quoted")
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Error("quote cell not escaped")
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		Title:  "SOC",
+		Values: [][]float64{{0, 0.5, 1}, {1, 1, 1}},
+		Lo:     0, Hi: 1,
+	}
+	out := h.String()
+	if !strings.Contains(out, "SOC") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	// Full-charge row renders with the densest shade.
+	if !strings.Contains(lines[2], "@@@") {
+		t.Errorf("full row should be dense: %q", lines[2])
+	}
+	// Mixed row starts light and ends dark.
+	if !strings.Contains(lines[1], " ") || !strings.Contains(lines[1], "@") {
+		t.Errorf("gradient row wrong: %q", lines[1])
+	}
+}
+
+func TestHeatmapClamping(t *testing.T) {
+	h := &Heatmap{Values: [][]float64{{-5, 10}}, Lo: 0, Hi: 1}
+	out := h.String()
+	if !strings.Contains(out, " ") || !strings.Contains(out, "@") {
+		t.Errorf("out-of-range values should clamp: %q", out)
+	}
+}
+
+func TestHeatmapDegenerateRange(t *testing.T) {
+	h := &Heatmap{Values: [][]float64{{0.5}}, Lo: 1, Hi: 1}
+	// Must not panic or divide by zero.
+	_ = h.String()
+}
+
+func TestHeatmapCSV(t *testing.T) {
+	h := &Heatmap{Title: "M", Values: [][]float64{{0.25, 0.75}}}
+	var b strings.Builder
+	if err := h.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0.2500,0.7500") {
+		t.Errorf("csv wrong: %q", b.String())
+	}
+}

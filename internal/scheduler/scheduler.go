@@ -1,0 +1,276 @@
+// Package scheduler is the job-level service model of the paper's
+// simulation framework (Figure 11-B: Google trace → job scheduler →
+// server cluster): work arrives as jobs of one or more tasks, tasks are
+// dispatched onto servers with finite CPU capacity, and the power layer's
+// misbehavior — outages that kill in-flight work, DVFS capping that slows
+// it — shows up as job slowdown and loss. It turns the power-level
+// results of the simulator into the service-level numbers an operator
+// actually answers for.
+package scheduler
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TaskReq is one task of a job: a nominal run time at a CPU demand.
+type TaskReq struct {
+	// Duration is the task's run time on an unimpaired server.
+	Duration time.Duration
+	// CPURate is the CPU share the task occupies while running, in (0, 1].
+	CPURate float64
+}
+
+// Job is a unit of arriving work.
+type Job struct {
+	// ID identifies the job in records.
+	ID int
+	// Arrival is the job's arrival offset.
+	Arrival time.Duration
+	// Tasks are the job's tasks; the job completes when all complete.
+	Tasks []TaskReq
+}
+
+// Impairment marks a window during which a server misbehaves.
+type Impairment struct {
+	// Server is the impaired server.
+	Server int
+	// From/To bound the window.
+	From, To time.Duration
+	// SpeedFactor scales task progress during the window: 0 is an outage
+	// (the server is dark and running tasks are killed and re-queued),
+	// values in (0, 1) model DVFS capping.
+	SpeedFactor float64
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Servers is the cluster size.
+	Servers int
+	// Horizon bounds the simulation; unfinished work counts as dropped.
+	Horizon time.Duration
+}
+
+// JobRecord is the outcome of one job.
+type JobRecord struct {
+	Job       Job
+	Completed bool
+	// Finish is the completion offset (valid when Completed).
+	Finish time.Duration
+	// Restarts counts task restarts caused by outages.
+	Restarts int
+}
+
+// Slowdown is the job's (finish − arrival) / ideal time, where ideal is
+// the longest task's nominal duration. 1.0 is a perfect run.
+func (r JobRecord) Slowdown() float64 {
+	if !r.Completed {
+		return 0
+	}
+	var ideal time.Duration
+	for _, t := range r.Job.Tasks {
+		if t.Duration > ideal {
+			ideal = t.Duration
+		}
+	}
+	if ideal == 0 {
+		return 1
+	}
+	return float64(r.Finish-r.Job.Arrival) / float64(ideal)
+}
+
+// Metrics summarize a run.
+type Metrics struct {
+	Completed, Dropped int
+	// MeanSlowdown and P95Slowdown are over completed jobs.
+	MeanSlowdown, P95Slowdown float64
+	// Restarts counts outage-induced task restarts.
+	Restarts int
+}
+
+// task is the runtime state of one task.
+type task struct {
+	job       *jobState
+	req       TaskReq
+	remaining time.Duration // nominal work left
+	server    int           // -1 when queued
+}
+
+// jobState tracks a job's outstanding tasks.
+type jobState struct {
+	job    Job
+	record JobRecord
+	open   int
+}
+
+// eventKind orders simultaneous events deterministically.
+type eventKind int
+
+const (
+	evImpairment eventKind = iota // boundaries first: rates change
+	evArrival
+)
+
+type event struct {
+	at   time.Duration
+	kind eventKind
+	seq  int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates jobs over the cluster with the given impairments and
+// returns per-job records plus summary metrics. Scheduling is
+// least-loaded-first with FIFO queueing; an outage kills the affected
+// running tasks, which restart from scratch once a server has room.
+func Run(cfg Config, jobs []Job, impairments []Impairment) ([]JobRecord, Metrics, error) {
+	if cfg.Servers <= 0 {
+		return nil, Metrics{}, fmt.Errorf("scheduler: need servers, got %d", cfg.Servers)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, Metrics{}, fmt.Errorf("scheduler: need a positive horizon")
+	}
+	for i, j := range jobs {
+		if len(j.Tasks) == 0 {
+			return nil, Metrics{}, fmt.Errorf("scheduler: job %d has no tasks", i)
+		}
+		for _, t := range j.Tasks {
+			if t.Duration <= 0 || t.CPURate <= 0 || t.CPURate > 1 {
+				return nil, Metrics{}, fmt.Errorf("scheduler: job %d has invalid task %+v", i, t)
+			}
+		}
+	}
+	for _, im := range impairments {
+		if im.Server < 0 || im.Server >= cfg.Servers || im.To <= im.From ||
+			im.SpeedFactor < 0 || im.SpeedFactor > 1 {
+			return nil, Metrics{}, fmt.Errorf("scheduler: invalid impairment %+v", im)
+		}
+	}
+
+	s := &simState{
+		cfg:         cfg,
+		used:        make([]float64, cfg.Servers),
+		speed:       make([]float64, cfg.Servers),
+		running:     make(map[int]map[*task]bool, cfg.Servers),
+		impairments: impairments,
+	}
+	for i := range s.speed {
+		s.speed[i] = 1
+		s.running[i] = map[*task]bool{}
+	}
+
+	// Sort jobs by arrival; build states.
+	ordered := append([]Job(nil), jobs...)
+	sort.SliceStable(ordered, func(a, b int) bool {
+		return ordered[a].Arrival < ordered[b].Arrival
+	})
+	states := make([]*jobState, len(ordered))
+	for i, j := range ordered {
+		states[i] = &jobState{job: j, record: JobRecord{Job: j}, open: len(j.Tasks)}
+	}
+
+	// Event queue: arrivals and impairment boundaries are known up front;
+	// completions are discovered as time advances.
+	var h eventHeap
+	seq := 0
+	push := func(at time.Duration, kind eventKind) {
+		if at <= cfg.Horizon {
+			heap.Push(&h, event{at: at, kind: kind, seq: seq})
+			seq++
+		}
+	}
+	for _, js := range states {
+		push(js.job.Arrival, evArrival)
+	}
+	for _, im := range impairments {
+		push(im.From, evImpairment)
+		push(im.To, evImpairment)
+	}
+	nextArrival := 0
+
+	now := time.Duration(0)
+	for {
+		// The next completion may precede the next queued event.
+		nc, ncOK := s.nextCompletion(now)
+		var next time.Duration
+		var fromHeap bool
+		if len(h) > 0 {
+			next = h[0].at
+			fromHeap = true
+		}
+		if ncOK && (!fromHeap || nc < next) {
+			next = nc
+			fromHeap = false
+		} else if !fromHeap {
+			break
+		}
+		if next > cfg.Horizon {
+			break
+		}
+		s.advance(now, next)
+		now = next
+
+		if fromHeap {
+			ev := heap.Pop(&h).(event)
+			switch ev.kind {
+			case evArrival:
+				for nextArrival < len(states) && states[nextArrival].job.Arrival <= now {
+					js := states[nextArrival]
+					for _, req := range js.job.Tasks {
+						s.enqueue(&task{job: js, req: req, remaining: req.Duration, server: -1})
+					}
+					nextArrival++
+				}
+			case evImpairment:
+				s.applyImpairments(now)
+			}
+		}
+		s.reapCompletions(now)
+		s.drainQueue()
+	}
+	s.advance(now, cfg.Horizon)
+	s.reapCompletions(cfg.Horizon)
+
+	records := make([]JobRecord, len(states))
+	var m Metrics
+	var slowdowns []float64
+	for i, js := range states {
+		records[i] = js.record
+		if js.record.Completed {
+			m.Completed++
+			slowdowns = append(slowdowns, js.record.Slowdown())
+		} else {
+			m.Dropped++
+		}
+		m.Restarts += js.record.Restarts
+	}
+	if len(slowdowns) > 0 {
+		m.MeanSlowdown = stats.Mean(slowdowns)
+		m.P95Slowdown = stats.Percentile(slowdowns, 95)
+	}
+	return records, m, nil
+}

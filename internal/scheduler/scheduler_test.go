@@ -1,0 +1,221 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func job(id int, arrival time.Duration, tasks ...TaskReq) Job {
+	return Job{ID: id, Arrival: arrival, Tasks: tasks}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, _, err := Run(Config{Servers: 0, Horizon: time.Hour}, nil, nil); err == nil {
+		t.Error("zero servers should fail")
+	}
+	if _, _, err := Run(Config{Servers: 1}, nil, nil); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	if _, _, err := Run(Config{Servers: 1, Horizon: time.Hour},
+		[]Job{{ID: 1}}, nil); err == nil {
+		t.Error("task-less job should fail")
+	}
+	if _, _, err := Run(Config{Servers: 1, Horizon: time.Hour},
+		[]Job{job(1, 0, TaskReq{Duration: time.Minute, CPURate: 2})}, nil); err == nil {
+		t.Error("over-unity CPU rate should fail")
+	}
+	if _, _, err := Run(Config{Servers: 1, Horizon: time.Hour}, nil,
+		[]Impairment{{Server: 5, From: 0, To: time.Minute}}); err == nil {
+		t.Error("impairment on unknown server should fail")
+	}
+}
+
+func TestSimpleCompletion(t *testing.T) {
+	jobs := []Job{job(1, time.Minute, TaskReq{Duration: 10 * time.Minute, CPURate: 0.5})}
+	recs, m, err := Run(Config{Servers: 2, Horizon: time.Hour}, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 1 || m.Dropped != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if !recs[0].Completed {
+		t.Fatal("job not completed")
+	}
+	want := 11 * time.Minute
+	if d := recs[0].Finish - want; d > time.Second || d < -time.Second {
+		t.Fatalf("finish = %v, want ~%v", recs[0].Finish, want)
+	}
+	if sd := recs[0].Slowdown(); math.Abs(sd-1) > 0.01 {
+		t.Fatalf("slowdown = %v, want ~1", sd)
+	}
+}
+
+func TestMultiTaskJobCompletesWithLastTask(t *testing.T) {
+	jobs := []Job{job(1, 0,
+		TaskReq{Duration: 5 * time.Minute, CPURate: 0.4},
+		TaskReq{Duration: 20 * time.Minute, CPURate: 0.4},
+	)}
+	recs, _, err := Run(Config{Servers: 2, Horizon: time.Hour}, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recs[0].Completed {
+		t.Fatal("job not completed")
+	}
+	if d := recs[0].Finish - 20*time.Minute; d > time.Second || d < -time.Second {
+		t.Fatalf("finish = %v, want ~20m", recs[0].Finish)
+	}
+}
+
+func TestQueueingWhenFull(t *testing.T) {
+	// One server, two jobs at 0.8 CPU each: the second queues behind the
+	// first.
+	jobs := []Job{
+		job(1, 0, TaskReq{Duration: 10 * time.Minute, CPURate: 0.8}),
+		job(2, 0, TaskReq{Duration: 10 * time.Minute, CPURate: 0.8}),
+	}
+	recs, m, err := Run(Config{Servers: 1, Horizon: time.Hour}, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 2 {
+		t.Fatalf("completed = %d", m.Completed)
+	}
+	var first, second JobRecord
+	for _, r := range recs {
+		if r.Job.ID == 1 {
+			first = r
+		} else {
+			second = r
+		}
+	}
+	if d := first.Finish - 10*time.Minute; d > time.Second || d < -time.Second {
+		t.Fatalf("first finish = %v", first.Finish)
+	}
+	if d := second.Finish - 20*time.Minute; d > time.Second || d < -time.Second {
+		t.Fatalf("queued job finish = %v, want ~20m", second.Finish)
+	}
+	if second.Slowdown() < 1.9 {
+		t.Fatalf("queued slowdown = %v, want ~2", second.Slowdown())
+	}
+}
+
+func TestLeastLoadedPlacement(t *testing.T) {
+	// Two servers; three 0.5-rate tasks spread 2+1, never 3 on one server.
+	jobs := []Job{
+		job(1, 0, TaskReq{Duration: time.Hour, CPURate: 0.5}),
+		job(2, 0, TaskReq{Duration: time.Hour, CPURate: 0.5}),
+		job(3, 0, TaskReq{Duration: time.Hour, CPURate: 0.5}),
+	}
+	_, m, err := Run(Config{Servers: 2, Horizon: 2 * time.Hour}, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 3 {
+		t.Fatalf("completed = %d", m.Completed)
+	}
+}
+
+func TestSlowdownUnderCapping(t *testing.T) {
+	// The server runs at 0.8 speed for the whole job: 25% longer.
+	jobs := []Job{job(1, 0, TaskReq{Duration: 8 * time.Minute, CPURate: 0.5})}
+	imp := []Impairment{{Server: 0, From: 0, To: time.Hour, SpeedFactor: 0.8}}
+	recs, _, err := Run(Config{Servers: 1, Horizon: time.Hour}, jobs, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * time.Minute
+	if d := recs[0].Finish - want; d > 2*time.Second || d < -2*time.Second {
+		t.Fatalf("capped finish = %v, want ~%v", recs[0].Finish, want)
+	}
+}
+
+func TestOutageRestartsWork(t *testing.T) {
+	// The job starts at 0, the server goes dark from 5m to 10m: the task
+	// restarts and completes at 10m + 8m.
+	jobs := []Job{job(1, 0, TaskReq{Duration: 8 * time.Minute, CPURate: 0.5})}
+	imp := []Impairment{{Server: 0, From: 5 * time.Minute, To: 10 * time.Minute, SpeedFactor: 0}}
+	recs, m, err := Run(Config{Servers: 1, Horizon: time.Hour}, jobs, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", m.Restarts)
+	}
+	want := 18 * time.Minute
+	if d := recs[0].Finish - want; d > 2*time.Second || d < -2*time.Second {
+		t.Fatalf("post-outage finish = %v, want ~%v", recs[0].Finish, want)
+	}
+}
+
+func TestOutageFailsOverToLiveServer(t *testing.T) {
+	// Two servers; server 0 dies at 2m. The restarted task lands on
+	// server 1 and completes without waiting for the outage to end.
+	jobs := []Job{job(1, 0, TaskReq{Duration: 8 * time.Minute, CPURate: 0.5})}
+	imp := []Impairment{{Server: 0, From: 2 * time.Minute, To: time.Hour, SpeedFactor: 0}}
+	recs, _, err := Run(Config{Servers: 2, Horizon: 2 * time.Hour}, jobs, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recs[0].Completed {
+		t.Fatal("job should fail over and complete")
+	}
+	// Either it started on server 1 (finish 8m) or restarted there
+	// (finish ≤ 10m); both beat waiting out the outage.
+	if recs[0].Finish > 11*time.Minute {
+		t.Fatalf("failover took too long: %v", recs[0].Finish)
+	}
+}
+
+func TestUnfinishedWorkDropsAtHorizon(t *testing.T) {
+	jobs := []Job{job(1, 0, TaskReq{Duration: 2 * time.Hour, CPURate: 0.5})}
+	recs, m, err := Run(Config{Servers: 1, Horizon: time.Hour}, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dropped != 1 || recs[0].Completed {
+		t.Fatalf("long job should drop at horizon: %+v", m)
+	}
+}
+
+func TestMetricsPercentile(t *testing.T) {
+	// 10 quick jobs and 1 badly queued one: p95 exceeds the mean.
+	var jobs []Job
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, job(i, time.Duration(i)*20*time.Minute,
+			TaskReq{Duration: 10 * time.Minute, CPURate: 0.9}))
+	}
+	// This one arrives alongside job 0 and must queue behind it.
+	jobs = append(jobs, job(99, time.Minute, TaskReq{Duration: 10 * time.Minute, CPURate: 0.9}))
+	_, m, err := Run(Config{Servers: 1, Horizon: 6 * time.Hour}, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 11 {
+		t.Fatalf("completed = %d", m.Completed)
+	}
+	if m.P95Slowdown < m.MeanSlowdown {
+		t.Fatalf("p95 (%v) below mean (%v)", m.P95Slowdown, m.MeanSlowdown)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	jobs := []Job{
+		job(1, 0, TaskReq{Duration: 5 * time.Minute, CPURate: 0.5}),
+		job(2, time.Minute, TaskReq{Duration: 7 * time.Minute, CPURate: 0.7}),
+	}
+	imp := []Impairment{{Server: 0, From: 3 * time.Minute, To: 6 * time.Minute, SpeedFactor: 0.5}}
+	_, m1, err := Run(Config{Servers: 2, Horizon: time.Hour}, jobs, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m2, err := Run(Config{Servers: 2, Horizon: time.Hour}, jobs, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("runs differ: %+v vs %+v", m1, m2)
+	}
+}

@@ -1,0 +1,138 @@
+package scheduler
+
+import "time"
+
+// simState holds the cluster's runtime state during a Run.
+type simState struct {
+	cfg         Config
+	used        []float64 // per-server CPU in use
+	speed       []float64 // per-server speed factor (0 = dark)
+	running     map[int]map[*task]bool
+	queue       []*task
+	impairments []Impairment
+}
+
+// enqueue appends a task to the FIFO queue.
+func (s *simState) enqueue(t *task) {
+	t.server = -1
+	s.queue = append(s.queue, t)
+}
+
+// drainQueue places queued tasks least-loaded-first while they fit.
+func (s *simState) drainQueue() {
+	remaining := s.queue[:0]
+	for _, t := range s.queue {
+		srv := s.pick(t.req.CPURate)
+		if srv < 0 {
+			remaining = append(remaining, t)
+			continue
+		}
+		t.server = srv
+		s.used[srv] += t.req.CPURate
+		s.running[srv][t] = true
+	}
+	s.queue = remaining
+}
+
+// pick returns the least-loaded live server with room for rate, or -1.
+func (s *simState) pick(rate float64) int {
+	best, bestUsed := -1, 2.0
+	for srv := range s.used {
+		if s.speed[srv] <= 0 {
+			continue // dark server accepts nothing
+		}
+		if s.used[srv]+rate <= 1+1e-9 && s.used[srv] < bestUsed {
+			best, bestUsed = srv, s.used[srv]
+		}
+	}
+	return best
+}
+
+// advance progresses running tasks from `from` to `to` at current speeds.
+func (s *simState) advance(from, to time.Duration) {
+	if to <= from {
+		return
+	}
+	dt := to - from
+	for srv, tasks := range s.running {
+		sp := s.speed[srv]
+		if sp <= 0 {
+			continue
+		}
+		work := time.Duration(float64(dt) * sp)
+		for t := range tasks {
+			t.remaining -= work
+		}
+	}
+}
+
+// nextCompletion returns the earliest projected task completion after now.
+func (s *simState) nextCompletion(now time.Duration) (time.Duration, bool) {
+	best := time.Duration(0)
+	found := false
+	for srv, tasks := range s.running {
+		sp := s.speed[srv]
+		if sp <= 0 {
+			continue
+		}
+		for t := range tasks {
+			rem := t.remaining
+			if rem < 0 {
+				rem = 0
+			}
+			at := now + time.Duration(float64(rem)/sp)
+			if !found || at < best {
+				best, found = at, true
+			}
+		}
+	}
+	return best, found
+}
+
+// reapCompletions finishes tasks whose work is done.
+func (s *simState) reapCompletions(now time.Duration) {
+	for srv, tasks := range s.running {
+		for t := range tasks {
+			if t.remaining <= time.Microsecond {
+				delete(tasks, t)
+				s.used[srv] -= t.req.CPURate
+				if s.used[srv] < 0 {
+					s.used[srv] = 0
+				}
+				t.job.open--
+				if t.job.open == 0 {
+					t.job.record.Completed = true
+					t.job.record.Finish = now
+				}
+			}
+		}
+	}
+}
+
+// applyImpairments recomputes per-server speeds at time now and kills the
+// running tasks of servers that just went dark (outage restart-from-
+// scratch: a power loss destroys in-memory work).
+func (s *simState) applyImpairments(now time.Duration) {
+	for srv := range s.speed {
+		sp := 1.0
+		for _, im := range s.impairments {
+			if im.Server == srv && now >= im.From && now < im.To {
+				if im.SpeedFactor < sp {
+					sp = im.SpeedFactor
+				}
+			}
+		}
+		if sp <= 0 && s.speed[srv] > 0 {
+			// Outage begins: kill and re-queue everything running here.
+			for t := range s.running[srv] {
+				delete(s.running[srv], t)
+				s.used[srv] -= t.req.CPURate
+				t.remaining = t.req.Duration
+				t.job.record.Restarts++
+				s.enqueue(t)
+			}
+			s.used[srv] = 0
+		}
+		s.speed[srv] = sp
+	}
+}

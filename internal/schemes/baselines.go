@@ -1,0 +1,107 @@
+package schemes
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Conv is the conventional baseline: batteries are an outage reserve and
+// are never discharged for peak shaving; demand above budget hits the
+// overload protection directly.
+type Conv struct {
+	chargers
+}
+
+// NewConv builds the conventional baseline.
+func NewConv(opts Options) *Conv {
+	return &Conv{chargers{opts: opts.withDefaults()}}
+}
+
+// Name implements sim.Scheme.
+func (s *Conv) Name() string { return "Conv" }
+
+// Plan implements sim.Scheme.
+func (s *Conv) Plan(view sim.ClusterView) []sim.Action {
+	acts := make([]sim.Action, len(view.Racks))
+	for i := range view.Racks {
+		acts[i].Charge = s.planCharge(i, view.Racks)
+	}
+	return acts
+}
+
+// PS is the state-of-the-art peak-shaving baseline: each rack discharges
+// its own battery to cover demand above its budget.
+type PS struct {
+	chargers
+}
+
+// NewPS builds the peak-shaving baseline.
+func NewPS(opts Options) *PS {
+	return &PS{chargers{opts: opts.withDefaults()}}
+}
+
+// Name implements sim.Scheme.
+func (s *PS) Name() string { return "PS" }
+
+// Plan implements sim.Scheme.
+func (s *PS) Plan(view sim.ClusterView) []sim.Action {
+	acts := make([]sim.Action, len(view.Racks))
+	for i, v := range view.Racks {
+		if need := v.Demand - v.Budget; need > 0 {
+			acts[i].Discharge = units.Min(need, v.BatteryMax)
+		} else {
+			acts[i].Charge = s.planCharge(i, view.Racks)
+		}
+	}
+	return acts
+}
+
+// PSPC combines PS with software power capping: when the local battery
+// cannot cover the excess, processor frequency drops by a fixed 20%.
+// Capping is driven by utilization monitoring, so it sees demand only
+// through the capGovernor's smoother and acts after its latency — the
+// blind spot hidden spikes exploit. Battery shaving stays hardware-fast.
+type PSPC struct {
+	chargers
+	gov capGovernor
+}
+
+// NewPSPC builds the PS-plus-power-capping baseline.
+func NewPSPC(opts Options) *PSPC {
+	return &PSPC{chargers: chargers{opts: opts.withDefaults()}}
+}
+
+// Name implements sim.Scheme.
+func (s *PSPC) Name() string { return "PSPC" }
+
+// SetMonitoringTau overrides the capping monitor's smoothing constant
+// (ablation knob; the default models minutes-coarse utilization
+// monitoring).
+func (s *PSPC) SetMonitoringTau(tau time.Duration) { s.gov.Tau = tau }
+
+// Plan implements sim.Scheme.
+func (s *PSPC) Plan(view sim.ClusterView) []sim.Action {
+	smoothed := s.gov.observe(view)
+	desired := make([]float64, len(view.Racks))
+	acts := make([]sim.Action, len(view.Racks))
+	for i, v := range view.Racks {
+		// Hardware shaving reacts to instantaneous excess.
+		if need := v.Demand - v.Budget; need > 0 {
+			acts[i].Discharge = units.Min(need, v.BatteryMax)
+		} else {
+			acts[i].Charge = s.planCharge(i, view.Racks)
+		}
+		// Software capping reacts to monitored excess the battery cannot
+		// cover.
+		if smoothed[i]-v.Budget > v.BatteryMax {
+			desired[i] = s.opts.CapFreq
+		}
+	}
+	applied := s.gov.submit(desired, view.Tick)
+	for i := range acts {
+		acts[i].Freq = applied[i]
+	}
+	return acts
+}

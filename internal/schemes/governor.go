@@ -1,0 +1,86 @@
+package schemes
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// capGovernor models the software power-capping loop the paper faults for
+// missing hidden spikes: it observes demand only through an EWMA smoother
+// (utilization-based monitoring cannot see sub-second structure) and its
+// frequency decisions take effect after an actuation delay (the paper
+// cites 100–300 ms for full-system capping). Battery and μDEB responses
+// are hardware-speed and bypass this governor entirely.
+type capGovernor struct {
+	// Tau is the monitoring smoothing constant. 0 selects 60 s:
+	// utilization-based power monitoring integrates over coarse windows
+	// (the paper cites minutes), which is precisely why sudden load jumps
+	// and hidden spikes beat software capping.
+	Tau time.Duration
+	// Delay is the actuation latency. 0 selects 300 ms.
+	Delay time.Duration
+
+	smoothed []float64   // per-rack smoothed demand, watts
+	queue    [][]float64 // pending per-rack freq decisions
+}
+
+func (g *capGovernor) tau() time.Duration {
+	if g.Tau == 0 {
+		return 60 * time.Second
+	}
+	return g.Tau
+}
+
+func (g *capGovernor) delay() time.Duration {
+	if g.Delay == 0 {
+		return 300 * time.Millisecond
+	}
+	return g.Delay
+}
+
+// observe updates the smoothed demand estimates and returns them.
+func (g *capGovernor) observe(view sim.ClusterView) []units.Watts {
+	n := len(view.Racks)
+	if g.smoothed == nil {
+		g.smoothed = make([]float64, n)
+		for i, v := range view.Racks {
+			g.smoothed[i] = float64(v.Demand) // seed from first sight
+		}
+	}
+	alpha := 1 - math.Exp(-view.Tick.Seconds()/g.tau().Seconds())
+	out := make([]units.Watts, n)
+	for i, v := range view.Racks {
+		g.smoothed[i] += alpha * (float64(v.Demand) - g.smoothed[i])
+		out[i] = units.Watts(g.smoothed[i])
+	}
+	return out
+}
+
+// submit enqueues this tick's desired frequencies and returns the
+// frequencies that actually take effect now (decisions from Delay ago;
+// 0 entries mean uncapped).
+func (g *capGovernor) submit(desired []float64, tick time.Duration) []float64 {
+	depth := 0
+	if tick > 0 {
+		depth = int(g.delay() / tick)
+	}
+	g.queue = append(g.queue, append([]float64(nil), desired...))
+	if len(g.queue) <= depth {
+		return make([]float64, len(desired)) // nothing actuated yet
+	}
+	head := g.queue[0]
+	g.queue = g.queue[1:]
+	return head
+}
+
+// smoothedTotal sums the smoothed per-rack demands.
+func smoothedTotal(sm []units.Watts) units.Watts {
+	var t units.Watts
+	for _, v := range sm {
+		t += v
+	}
+	return t
+}

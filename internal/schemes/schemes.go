@@ -1,0 +1,145 @@
+// Package schemes implements the six power-management schemes the paper
+// evaluates (Table III):
+//
+//	Conv  — conventional: batteries held in reserve for outages only.
+//	PS    — per-rack peak shaving with the local battery.
+//	PSPC  — PS plus fixed DVFS power capping when the battery falls short.
+//	VDEB  — PS plus the vDEB load-sharing pool (Algorithm 1).
+//	UDEB  — PS plus the μDEB super-capacitor spike shaver.
+//	PAD   — the full defense: vDEB + μDEB + hierarchical policy + shedding.
+//
+// All schemes satisfy sim.Scheme. Charging behaviour (online vs offline,
+// the Figure 5 contrast) is an orthogonal knob in Options.
+package schemes
+
+import (
+	"math"
+
+	"repro/internal/battery"
+	"repro/internal/powersim"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Options tune behaviour shared across schemes.
+type Options struct {
+	// Server is the power model used for DVFS cap computations. Zero
+	// selects powersim.DL585G5.
+	Server powersim.ServerModel
+	// ServersPerRack is needed to translate shed power into server
+	// counts. 0 selects 10.
+	ServersPerRack int
+	// Offline switches battery charging from online (opportunistic) to
+	// offline (threshold-triggered), the Figure 5 contrast.
+	Offline bool
+	// OfflineThreshold is the SOC that triggers an offline recharge
+	// cycle. 0 selects 0.30.
+	OfflineThreshold float64
+	// CapFreq is the fixed DVFS cap PSPC applies under shortfall. 0
+	// selects 0.8 (the paper's 20% frequency decrease).
+	CapFreq float64
+	// PIdeal is the per-rack safe discharge bound Algorithm 1 enforces.
+	// 0 selects half the rack nameplate implied by Server and
+	// ServersPerRack.
+	PIdeal units.Watts
+	// ShedRatio is PAD's maximum shed fraction. 0 selects 0.03.
+	ShedRatio float64
+	// SleepPower is the per-server sleep draw used to size shedding
+	// savings. 0 selects 20 W.
+	SleepPower units.Watts
+	// Strict selects PAD's strict initial policy level for the
+	// [vDEB>0, μDEB==0] states.
+	Strict bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Server == (powersim.ServerModel{}) {
+		o.Server = powersim.DL585G5
+	}
+	if o.ServersPerRack == 0 {
+		o.ServersPerRack = 10
+	}
+	if o.OfflineThreshold == 0 {
+		o.OfflineThreshold = 0.30
+	}
+	if o.CapFreq == 0 {
+		o.CapFreq = 0.8
+	}
+	if o.PIdeal == 0 {
+		o.PIdeal = o.Server.Peak * units.Watts(o.ServersPerRack) / 2
+	}
+	if o.ShedRatio == 0 {
+		o.ShedRatio = 0.03
+	}
+	if o.SleepPower == 0 {
+		o.SleepPower = 20
+	}
+	return o
+}
+
+// chargers lazily builds one charge policy per rack.
+type chargers struct {
+	opts     Options
+	policies []battery.ChargePolicy
+}
+
+func (c *chargers) policy(i, n int) battery.ChargePolicy {
+	if c.policies == nil {
+		c.policies = make([]battery.ChargePolicy, n)
+		for j := range c.policies {
+			if c.opts.Offline {
+				c.policies[j] = &battery.OfflineCharger{Threshold: c.opts.OfflineThreshold}
+			} else {
+				c.policies[j] = battery.OnlineCharger{}
+			}
+		}
+	}
+	return c.policies[i]
+}
+
+// planCharge computes the charge request for rack i given its view.
+func (c *chargers) planCharge(i int, views []sim.RackView) units.Watts {
+	v := views[i]
+	headroom := v.Budget - v.Demand
+	if headroom <= 0 {
+		return 0
+	}
+	want := c.policy(i, len(views)).Plan(v.BatterySOC, headroom)
+	return units.Min(want, v.BatteryMaxCharge)
+}
+
+// capFreqFor returns the DVFS frequency that brings a rack's draw from
+// demand down to target, using the aggregate server model: dynamic power
+// scales roughly as freq^exponent when servers saturate. The result is
+// clamped to [floor, 1]; realistic capping policies bound how deep they
+// will throttle production servers (PAD uses the same 20% bound as PSPC,
+// per the paper's performance-guarantee claim).
+func capFreqFor(model powersim.ServerModel, awakeServers int, demand, target units.Watts, floor float64) float64 {
+	if floor <= 0 || floor > 1 {
+		floor = 0.5
+	}
+	if target >= demand || demand <= 0 {
+		return 1
+	}
+	idle := model.Idle * units.Watts(awakeServers)
+	dyn := float64(demand - idle)
+	dynT := float64(target - idle)
+	if dyn <= 0 {
+		return 1 // all idle: capping cannot help
+	}
+	if dynT <= 0 {
+		return floor
+	}
+	exp := model.DVFSExponent
+	if exp == 0 {
+		exp = 2.4
+	}
+	f := math.Pow(dynT/dyn, 1/exp)
+	if f < floor {
+		return floor
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,183 @@
+package schemes
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// vdebPlanner holds the shared vDEB pooling logic used by the VDEB scheme
+// and by PAD: a 1-second software refresh of Algorithm-1 discharge caps
+// and iPDU soft-limit reassignments, applied tick by tick in between.
+type vdebPlanner struct {
+	opts Options
+	ctrl *core.VDEBController
+
+	// BudgetStretch caps how far a rack's soft limit may be raised above
+	// its default, modeling the physical wiring limit of the rack feed.
+	budgetStretch float64
+	refreshEvery  time.Duration
+
+	lastRefresh time.Duration
+	started     bool
+	allocCap    []units.Watts
+	budgets     []units.Watts
+}
+
+func newVDEBPlanner(opts Options) *vdebPlanner {
+	ctrl, err := core.NewVDEBController(opts.PIdeal)
+	if err != nil {
+		panic(err) // opts.withDefaults guarantees a positive PIdeal
+	}
+	return &vdebPlanner{
+		opts:          opts,
+		ctrl:          ctrl,
+		budgetStretch: 1.2,
+		refreshEvery:  time.Second,
+	}
+}
+
+// refresh recomputes discharge caps and soft limits from the current view.
+func (p *vdebPlanner) refresh(view sim.ClusterView) {
+	n := len(view.Racks)
+	socs := make([]float64, n)
+	for i, v := range view.Racks {
+		socs[i] = v.BatterySOC
+	}
+	pShave := view.TotalDemand - view.PDUBudget
+	if pShave < 0 {
+		pShave = 0
+	}
+	alloc := p.ctrl.Allocate(socs, pShave)
+	p.allocCap = make([]units.Watts, n)
+	p.budgets = make([]units.Watts, n)
+	expected := make([]units.Watts, n)
+	var expectedSum units.Watts
+	for i, v := range view.Racks {
+		cap_ := units.Min(alloc[i], v.BatteryMax)
+		cap_ = units.Min(cap_, v.Demand)
+		p.allocCap[i] = cap_
+		expected[i] = v.Demand - cap_
+		// When capping or shedding already holds the rack's actual draw
+		// below its raw demand (the iPDU outlet meter reports LastDraw),
+		// budget for the real draw — otherwise every soft limit would be
+		// sized for demand nobody is allowed to realize, starving the
+		// slack pool.
+		if v.LastDraw > 0 && v.LastDraw < expected[i] {
+			expected[i] = v.LastDraw
+		}
+		expectedSum += expected[i]
+	}
+	slack := view.PDUBudget - expectedSum
+	perRackBonus := units.Watts(0)
+	if slack > 0 {
+		perRackBonus = slack / units.Watts(n)
+	}
+	var budgetSum units.Watts
+	for i, v := range view.Racks {
+		b := expected[i] + perRackBonus
+		// The wiring of a rack feed bounds how far capacity sharing can
+		// raise its limit.
+		maxB := units.Watts(float64(v.Budget) * p.budgetStretch)
+		if b > maxB {
+			b = maxB
+		}
+		p.budgets[i] = b
+		budgetSum += b
+	}
+	// Eq. 2: assignments must fit under the PDU budget. When the pool can
+	// no longer cover the shave demand (slack < 0) the proportional
+	// scale-down here keeps each rack's soft limit consistent with what
+	// the capping/shedding fallbacks will be asked to reach, instead of
+	// letting the engine clamp limits below the draws we planned.
+	if budgetSum > view.PDUBudget {
+		scale := float64(view.PDUBudget) / float64(budgetSum)
+		for i := range p.budgets {
+			p.budgets[i] = units.Watts(float64(p.budgets[i]) * scale)
+		}
+	}
+}
+
+// plan produces the per-rack pooling actions for this tick.
+func (p *vdebPlanner) plan(view sim.ClusterView, ch *chargers) []sim.Action {
+	if !p.started || view.Time-p.lastRefresh >= p.refreshEvery {
+		p.refresh(view)
+		p.lastRefresh = view.Time
+		p.started = true
+	}
+	acts := make([]sim.Action, len(view.Racks))
+	for i, v := range view.Racks {
+		acts[i].Budget = p.budgets[i]
+		excess := v.Demand - p.budgets[i]
+		if excess > 0 {
+			// Hardware shaving within the software-assigned duty cap; the
+			// rack's own battery may exceed its Algorithm-1 share to catch
+			// a spike, but never its safe bound.
+			duty := units.Max(p.allocCap[i], units.Min(excess, p.ctrl.PIdeal))
+			acts[i].Discharge = units.Min(units.Min(excess, duty), v.BatteryMax)
+		} else if ch != nil {
+			headroom := p.budgets[i] - v.Demand
+			want := ch.policy(i, len(view.Racks)).Plan(v.BatterySOC, headroom)
+			acts[i].Charge = units.Min(want, v.BatteryMaxCharge)
+		}
+	}
+	return acts
+}
+
+// VDEB is the vDEB-only design: peak shaving plus the Algorithm-1 load
+// sharing pool that eliminates vulnerable racks.
+type VDEB struct {
+	chargers
+	planner *vdebPlanner
+}
+
+// NewVDEB builds the vDEB-only scheme.
+func NewVDEB(opts Options) *VDEB {
+	opts = opts.withDefaults()
+	return &VDEB{
+		chargers: chargers{opts: opts},
+		planner:  newVDEBPlanner(opts),
+	}
+}
+
+// Name implements sim.Scheme.
+func (s *VDEB) Name() string { return "vDEB" }
+
+// Plan implements sim.Scheme.
+func (s *VDEB) Plan(view sim.ClusterView) []sim.Action {
+	return s.planner.plan(view, &s.chargers)
+}
+
+// UDEB is the μDEB-only design: per-rack peak shaving (as PS) with the
+// super-capacitor spike shaver installed; the scheme keeps the banks
+// topped up from headroom. The banks themselves act in hardware inside
+// the engine.
+type UDEB struct {
+	chargers
+}
+
+// NewUDEB builds the μDEB-only scheme.
+func NewUDEB(opts Options) *UDEB {
+	return &UDEB{chargers{opts: opts.withDefaults()}}
+}
+
+// Name implements sim.Scheme.
+func (s *UDEB) Name() string { return "uDEB" }
+
+// Plan implements sim.Scheme.
+func (s *UDEB) Plan(view sim.ClusterView) []sim.Action {
+	acts := make([]sim.Action, len(view.Racks))
+	for i, v := range view.Racks {
+		if need := v.Demand - v.Budget; need > 0 {
+			acts[i].Discharge = units.Min(need, v.BatteryMax)
+		} else {
+			acts[i].Charge = s.planCharge(i, view.Racks)
+			if v.MicroSOC >= 0 && v.MicroSOC < 1 {
+				acts[i].MicroCharge = v.Budget - v.Demand
+			}
+		}
+	}
+	return acts
+}

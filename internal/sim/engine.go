@@ -1,0 +1,493 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/powersim"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/virus"
+)
+
+// LevelReporter is implemented by schemes that maintain a PAD security
+// level; the recorder samples it when present.
+type LevelReporter interface {
+	Level() core.Level
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Scheme is the evaluated scheme's name.
+	Scheme string
+	// Tripped reports whether any breaker tripped.
+	Tripped bool
+	// SurvivalTime is the offset of the first breaker trip, or the full
+	// run duration when nothing tripped. Survival is measured from the
+	// run start, matching the paper's "beginning of the attack to the
+	// first overload".
+	SurvivalTime time.Duration
+	// FirstTripRack is the rack whose feed tripped first, or -1 when the
+	// cluster PDU tripped first or nothing tripped.
+	FirstTripRack int
+	// EffectiveAttacks counts rack-feed excursions above the tolerated
+	// overload limit (rising edges), the paper's Figure 8 metric.
+	EffectiveAttacks int
+	// Throughput is delivered work over demanded work across the run.
+	Throughput float64
+	// MeanShedRatio is the average fraction of servers held asleep.
+	MeanShedRatio float64
+	// EnergyFromBatteries is the total energy drawn from rack batteries.
+	EnergyFromBatteries units.Joules
+	// MaxRackDischarge is the highest single-rack battery discharge power
+	// granted at any tick — the aging-stress proxy Algorithm 1's PIdeal
+	// bound exists to limit.
+	MaxRackDischarge units.Watts
+	// EnergyServed is the total electrical energy the servers consumed.
+	EnergyServed units.Joules
+	// EnergyFromGrid is the total energy drawn from the utility feed
+	// (including storage recharge).
+	EnergyFromGrid units.Joules
+	// EnergyIntoStorage is the total charge energy accepted by batteries
+	// and μDEB banks. Conservation holds exactly:
+	// EnergyServed = EnergyFromGrid − EnergyIntoStorage
+	//              + EnergyFromBatteries + EnergyFromMicro.
+	EnergyIntoStorage units.Joules
+	// EnergyFromMicro is the total energy the μDEBs shaved.
+	EnergyFromMicro units.Joules
+	// Recording holds time series when Config.Record was set.
+	Recording *Recording
+}
+
+// Recording holds sampled time series from a run.
+type Recording struct {
+	// Step is the sampling resolution.
+	Step time.Duration
+	// TotalGrid is the cluster feed draw.
+	TotalGrid *stats.Series
+	// RackSOC has one battery SOC series per rack.
+	RackSOC []*stats.Series
+	// RackDraw has one feed-draw series per rack.
+	RackDraw []*stats.Series
+	// MicroSOC has one μDEB SOC series per rack (empty when no μDEB).
+	MicroSOC []*stats.Series
+	// Levels samples the scheme's security level (0 when not reported).
+	Levels []core.Level
+	// ShedRatio samples the fraction of servers asleep.
+	ShedRatio *stats.Series
+	// AttackUtil samples the utilization the power virus commanded
+	// (zero when no attack is configured).
+	AttackUtil *stats.Series
+}
+
+// rack is the engine's per-rack state.
+type rack struct {
+	battery  battery.Store
+	micro    *core.MicroDEB
+	breaker  *powersim.Breaker
+	budget   units.Watts
+	overLast bool          // feed was above the tolerated limit last tick
+	downFor  time.Duration // accumulated downtime since the trip
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config, scheme Scheme) (*Result, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("sim: scheme is required")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	nameplate := cfg.Server.Peak * units.Watts(cfg.ServersPerRack)
+	plan := powersim.OversubscriptionPlan{
+		RackNameplate: nameplate,
+		Racks:         cfg.Racks,
+		Ratio:         cfg.OversubscriptionRatio,
+	}
+	pduBudget := plan.PDUBudget()
+	newBreaker := func(rated units.Watts) *powersim.Breaker {
+		b := powersim.NewBreaker(rated)
+		if cfg.DisableTrips {
+			b.TripHeat = 1e18
+			b.InstantMultiple = 1e18
+		}
+		return b
+	}
+	pduBreaker := newBreaker(pduBudget * units.Watts(1+cfg.OvershootTolerance))
+
+	racks := make([]*rack, cfg.Racks)
+	for i := range racks {
+		budget := plan.RackBudget(i)
+		r := &rack{
+			battery: cfg.BatteryFactory(nameplate),
+			breaker: newBreaker(budget * units.Watts(1+cfg.OvershootTolerance)),
+			budget:  budget,
+		}
+		if cfg.MicroDEBFactory != nil {
+			r.micro = cfg.MicroDEBFactory(nameplate, budget)
+		}
+		racks[i] = r
+	}
+
+	compromised := map[int]bool{}
+	if cfg.Attack != nil {
+		for _, s := range cfg.Attack.Servers {
+			compromised[s] = true
+		}
+	}
+	res := &Result{
+		Scheme:        scheme.Name(),
+		SurvivalTime:  cfg.Duration,
+		FirstTripRack: -1,
+	}
+	var rec *Recording
+	recEvery := 1
+	if cfg.Record {
+		rec = newRecording(cfg)
+		recEvery = int(cfg.RecordStep / cfg.Tick)
+		if recEvery < 1 {
+			recEvery = 1
+		}
+	}
+
+	totalServers := cfg.Racks * cfg.ServersPerRack
+	lastFreq := make([]float64, cfg.Racks)
+	for i := range lastFreq {
+		lastFreq[i] = 1
+	}
+	views := make([]RackView, cfg.Racks)
+	demandU := make([]float64, totalServers)
+	lastDraws := make([]units.Watts, cfg.Racks)
+
+	var demandedWork, deliveredWork float64
+	var shedSum float64
+	var pduDown time.Duration
+	ticks := 0
+
+	for now := time.Duration(0); now < cfg.Duration; now += cfg.Tick {
+		ticks++
+
+		// 1. Attacker acts on what it observed last tick.
+		attackU := 0.0
+		if cfg.Attack != nil {
+			capped := false
+			for s := range compromised {
+				if lastFreq[s/cfg.ServersPerRack] < 0.999 {
+					capped = true
+					break
+				}
+			}
+			attackU = cfg.Attack.Attack.Step(cfg.Tick, virus.Observation{Capped: capped})
+		}
+
+		// 2. Per-server utilization demand and per-rack electrical demand
+		// at full frequency.
+		for s := 0; s < totalServers; s++ {
+			u := 0.0
+			if cfg.Background != nil {
+				u = cfg.Background[s].Interp(now)
+			}
+			if compromised[s] && attackU > u {
+				u = attackU
+			}
+			demandU[s] = u
+		}
+		for i, r := range racks {
+			var demand units.Watts
+			for s := i * cfg.ServersPerRack; s < (i+1)*cfg.ServersPerRack; s++ {
+				demand += cfg.Server.Power(demandU[s], 1)
+			}
+			views[i] = RackView{
+				Demand:           demand,
+				Budget:           r.budget,
+				BatterySOC:       r.battery.SOC(),
+				BatteryMax:       r.battery.Deliverable(cfg.Tick),
+				BatteryMaxCharge: r.battery.MaxCharge(),
+				MicroSOC:         -1,
+			}
+			if r.micro != nil {
+				views[i].MicroSOC = r.micro.SOC()
+			}
+			views[i].LastDraw = lastDraws[i]
+		}
+		var totalDemand units.Watts
+		for i := range views {
+			totalDemand += views[i].Demand
+		}
+
+		// 3. Scheme decides.
+		actions := scheme.Plan(ClusterView{
+			Time:        now,
+			Tick:        cfg.Tick,
+			TotalDemand: totalDemand,
+			PDUBudget:   pduBudget,
+			Racks:       append([]RackView(nil), views...),
+		})
+		if len(actions) != cfg.Racks {
+			return nil, fmt.Errorf("sim: scheme %s returned %d actions for %d racks",
+				scheme.Name(), len(actions), cfg.Racks)
+		}
+
+		// 4a. Resolve soft-limit reassignments: default budgets where the
+		// scheme passed 0, proportional scale-down if the total exceeds
+		// the PDU budget (eq. 2 must keep holding).
+		var budgetSum units.Watts
+		limits := make([]units.Watts, cfg.Racks)
+		for i, r := range racks {
+			limits[i] = r.budget
+			if actions[i].Budget > 0 {
+				limits[i] = actions[i].Budget
+			}
+			budgetSum += limits[i]
+		}
+		if budgetSum > pduBudget {
+			scale := float64(pduBudget) / float64(budgetSum)
+			for i := range limits {
+				limits[i] = units.Watts(float64(limits[i]) * scale)
+			}
+		}
+
+		// 4b. Apply actions rack by rack.
+		var totalGrid units.Watts
+		draws := make([]units.Watts, cfg.Racks)
+		shedCount := 0
+		for i, r := range racks {
+			act := actions[i]
+			freq := act.Freq
+			if freq == 0 {
+				freq = 1
+			}
+			if freq < 0.1 {
+				freq = 0.1
+			}
+			if freq > 1 {
+				freq = 1
+			}
+			lastFreq[i] = freq
+			shed := act.ShedServers
+			if shed < 0 {
+				shed = 0
+			}
+			if shed > cfg.ServersPerRack {
+				shed = cfg.ServersPerRack
+			}
+			shedCount += shed
+
+			// Shed the highest-demand servers first: that is where the
+			// power (and any resident attacker) is.
+			base := i * cfg.ServersPerRack
+			order := topKByDemand(demandU[base:base+cfg.ServersPerRack], shed)
+			var power units.Watts
+			for s := 0; s < cfg.ServersPerRack; s++ {
+				u := demandU[base+s]
+				demandedWork += u
+				if order[s] {
+					power += cfg.SleepPower
+					continue
+				}
+				power += cfg.Server.Power(u, freq)
+				deliveredWork += minf(u, freq)
+			}
+
+			// Rack breaker already tripped (non-StopOnTrip mode): the rack
+			// is dark, delivers nothing further, draws nothing. With
+			// RestoreAfter set, the operator eventually resets the feed.
+			if r.breaker.Tripped() && cfg.RestoreAfter > 0 {
+				r.downFor += cfg.Tick
+				if r.downFor >= cfg.RestoreAfter {
+					r.breaker.Reset()
+					r.downFor = 0
+				}
+			}
+			if r.breaker.Tripped() {
+				// Undo this tick's delivered-work credit for the rack.
+				for s := 0; s < cfg.ServersPerRack; s++ {
+					if !order[s] {
+						deliveredWork -= minf(demandU[base+s], freq)
+					}
+				}
+				r.battery.Idle(cfg.Tick)
+				continue
+			}
+
+			res.EnergyServed += power.Energy(cfg.Tick)
+
+			// Battery discharge, then μDEB shaving on the remainder.
+			grid := power
+			if act.Discharge > 0 {
+				got := r.battery.Discharge(units.Min(act.Discharge, power), cfg.Tick)
+				res.EnergyFromBatteries += got.Energy(cfg.Tick)
+				if got > res.MaxRackDischarge {
+					res.MaxRackDischarge = got
+				}
+				grid -= got
+			}
+			var microBefore units.Joules
+			if r.micro != nil {
+				// The ORing conducts when the draw reaches the rack's
+				// overload-protection limit — the μDEB shaves the
+				// dangerous excursion, not routine above-budget draw
+				// (which is the battery pool's job).
+				r.micro.SetThreshold(limits[i] * units.Watts(1+cfg.OvershootTolerance))
+				microBefore = r.micro.ShavedEnergy()
+				grid = r.micro.Shave(grid, cfg.Tick)
+				res.EnergyFromMicro += r.micro.ShavedEnergy() - microBefore
+			}
+			draws[i] = grid
+			totalGrid += grid
+
+			// Battery charging happens in pass 5 from global headroom; a
+			// rack that neither charged nor discharged must still idle.
+			if act.Discharge <= 0 && act.Charge <= 0 {
+				r.battery.Idle(cfg.Tick)
+			}
+		}
+		shedSum += float64(shedCount) / float64(totalServers)
+
+		// 5. Grant charge requests from remaining PDU headroom. Every
+		// battery gets exactly one state-advancing call per tick: racks
+		// that discharged (or are dark) were stepped in pass 4; racks
+		// whose charge request cannot be granted idle instead.
+		headroom := pduBudget - totalGrid
+		for i, r := range racks {
+			act := actions[i]
+			if r.breaker.Tripped() || act.Discharge > 0 {
+				continue
+			}
+			if act.Charge > 0 {
+				if headroom > 0 {
+					got := r.battery.Charge(units.Min(act.Charge, headroom), cfg.Tick)
+					draws[i] += got
+					totalGrid += got
+					headroom -= got
+					res.EnergyIntoStorage += got.Energy(cfg.Tick)
+				} else {
+					r.battery.Idle(cfg.Tick)
+				}
+			}
+			if act.MicroCharge > 0 && r.micro != nil && headroom > 0 {
+				got := r.micro.Recharge(units.Min(act.MicroCharge, headroom), cfg.Tick)
+				draws[i] += got
+				totalGrid += got
+				headroom -= got
+				res.EnergyIntoStorage += got.Energy(cfg.Tick)
+			}
+		}
+
+		copy(lastDraws, draws)
+		res.EnergyFromGrid += totalGrid.Energy(cfg.Tick)
+
+		// 6. Step breakers and count overload events. The rack's overload
+		// protection threshold follows its assigned soft limit, while
+		// effective attacks are counted against the pre-determined default
+		// limit (the paper's fixed "x% overshoot" line).
+		for i, r := range racks {
+			r.breaker.Rated = limits[i] * units.Watts(1+cfg.OvershootTolerance)
+			over := draws[i] > r.budget*units.Watts(1+cfg.OvershootTolerance)
+			if over && !r.overLast {
+				res.EffectiveAttacks++
+			}
+			r.overLast = over
+			wasTripped := r.breaker.Tripped()
+			if r.breaker.Step(draws[i], cfg.Tick) && !wasTripped {
+				if !res.Tripped {
+					res.Tripped = true
+					res.SurvivalTime = now + cfg.Tick
+					res.FirstTripRack = i
+				}
+			}
+		}
+		wasTripped := pduBreaker.Tripped()
+		if pduBreaker.Step(totalGrid, cfg.Tick) && !wasTripped && !res.Tripped {
+			res.Tripped = true
+			res.SurvivalTime = now + cfg.Tick
+			res.FirstTripRack = -1
+		}
+		if pduBreaker.Tripped() && cfg.RestoreAfter > 0 && !cfg.StopOnTrip {
+			pduDown += cfg.Tick
+			if pduDown >= cfg.RestoreAfter {
+				pduBreaker.Reset()
+				pduDown = 0
+			}
+		}
+
+		// 7. Record.
+		if rec != nil && ticks%recEvery == 0 {
+			rec.TotalGrid.Append(float64(totalGrid))
+			for i, r := range racks {
+				rec.RackSOC[i].Append(r.battery.SOC())
+				rec.RackDraw[i].Append(float64(draws[i]))
+				if r.micro != nil {
+					rec.MicroSOC[i].Append(r.micro.SOC())
+				}
+			}
+			lvl := core.Level(0)
+			if lr, ok := scheme.(LevelReporter); ok {
+				lvl = lr.Level()
+			}
+			rec.Levels = append(rec.Levels, lvl)
+			rec.ShedRatio.Append(float64(shedCount) / float64(totalServers))
+			rec.AttackUtil.Append(attackU)
+		}
+
+		if res.Tripped && cfg.StopOnTrip {
+			break
+		}
+	}
+
+	if demandedWork > 0 {
+		res.Throughput = deliveredWork / demandedWork
+	} else {
+		res.Throughput = 1
+	}
+	res.MeanShedRatio = shedSum / float64(ticks)
+	res.Recording = rec
+	return res, nil
+}
+
+func newRecording(cfg Config) *Recording {
+	rec := &Recording{
+		Step:       cfg.RecordStep,
+		TotalGrid:  stats.NewSeries(cfg.RecordStep),
+		ShedRatio:  stats.NewSeries(cfg.RecordStep),
+		AttackUtil: stats.NewSeries(cfg.RecordStep),
+	}
+	for i := 0; i < cfg.Racks; i++ {
+		rec.RackSOC = append(rec.RackSOC, stats.NewSeries(cfg.RecordStep))
+		rec.RackDraw = append(rec.RackDraw, stats.NewSeries(cfg.RecordStep))
+		rec.MicroSOC = append(rec.MicroSOC, stats.NewSeries(cfg.RecordStep))
+	}
+	return rec
+}
+
+// topKByDemand marks the k highest-demand server slots.
+func topKByDemand(us []float64, k int) []bool {
+	marked := make([]bool, len(us))
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, u := range us {
+			if marked[i] {
+				continue
+			}
+			if best == -1 || u > us[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		marked[best] = true
+	}
+	return marked
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

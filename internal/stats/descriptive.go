@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// MinMax returns the smallest and largest elements of xs.
+// It returns (0, 0) for an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It returns 0 for an empty
+// slice. The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// CDF is an empirical cumulative distribution function built from samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples. The input is copied.
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// P returns the empirical probability P(X <= x).
+func (c *CDF) P(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	n := sort.SearchFloat64s(c.sorted, x)
+	// SearchFloat64s returns the first index >= x; advance over equal values
+	// so P is right-continuous (counts X <= x, not X < x).
+	for n < len(c.sorted) && c.sorted[n] == x {
+		n++
+	}
+	return float64(n) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the samples.
+func (c *CDF) Quantile(q float64) float64 {
+	return Percentile(c.sorted, q*100)
+}
+
+// Len reports the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Points returns (x, P(X<=x)) pairs suitable for plotting, sampled at every
+// distinct value.
+func (c *CDF) Points() (xs, ps []float64) {
+	for i, x := range c.sorted {
+		if i > 0 && x == c.sorted[i-1] {
+			xs[len(xs)-1] = x
+			ps[len(ps)-1] = float64(i+1) / float64(len(c.sorted))
+			continue
+		}
+		xs = append(xs, x)
+		ps = append(ps, float64(i+1)/float64(len(c.sorted)))
+	}
+	return xs, ps
+}
+
+// Histogram counts samples into uniform bins over [lo, hi].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with n uniform bins spanning [lo, hi].
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one sample. Out-of-range samples clamp into the edge bins.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total reports the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns the fraction of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func newTestSeries(step time.Duration, vals ...float64) *Series {
+	s := NewSeries(step)
+	for _, v := range vals {
+		s.Append(v)
+	}
+	return s
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := newTestSeries(time.Second, 1, 2, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Duration() != 3*time.Second {
+		t.Fatalf("Duration = %v", s.Duration())
+	}
+	if s.At(1500*time.Millisecond) != 2 {
+		t.Fatalf("At(1.5s) = %v, want 2", s.At(1500*time.Millisecond))
+	}
+	if s.At(10*time.Second) != 0 {
+		t.Fatalf("At beyond end should be 0")
+	}
+	if s.At(-time.Second) != 0 {
+		t.Fatalf("At before start should be 0")
+	}
+	if s.Max() != 3 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if s.Mean() != 2 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+}
+
+func TestSeriesStepValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSeries(0) should panic")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestSeriesInterp(t *testing.T) {
+	s := newTestSeries(time.Second, 0, 10)
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 0},
+		{250 * time.Millisecond, 2.5},
+		{500 * time.Millisecond, 5},
+		{time.Second, 10},
+		{5 * time.Second, 10}, // clamps at end
+		{-time.Second, 0},     // clamps at start
+	}
+	for _, c := range cases {
+		if got := s.Interp(c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Interp(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if (&Series{Step: time.Second}).Interp(0) != 0 {
+		t.Error("Interp on empty series should be 0")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := newTestSeries(time.Second, 1, 3, 5, 7, 9)
+	d := s.Downsample(2)
+	if d.Step != 2*time.Second {
+		t.Fatalf("step = %v", d.Step)
+	}
+	want := []float64{2, 6, 9} // last window is partial
+	if len(d.Values) != len(want) {
+		t.Fatalf("len = %d, want %d", len(d.Values), len(want))
+	}
+	for i, w := range want {
+		if d.Values[i] != w {
+			t.Errorf("value[%d] = %v, want %v", i, d.Values[i], w)
+		}
+	}
+}
+
+func TestDownsamplePreservesMean(t *testing.T) {
+	s := NewSeries(time.Second)
+	r := NewRNG(99)
+	for i := 0; i < 1000; i++ { // multiple of factor so no partial window
+		s.Append(r.Float64())
+	}
+	d := s.Downsample(10)
+	if math.Abs(d.Mean()-s.Mean()) > 1e-12 {
+		t.Fatalf("downsample changed mean: %v vs %v", d.Mean(), s.Mean())
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	s := newTestSeries(time.Second, 2, 4, 6, 8)
+	m := s.MovingAverage(2)
+	want := []float64{2, 3, 5, 7}
+	for i, w := range want {
+		if m.Values[i] != w {
+			t.Errorf("MA[%d] = %v, want %v", i, m.Values[i], w)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := newTestSeries(time.Second, 1, 2)
+	k := s.Scale(3)
+	if k.Values[0] != 3 || k.Values[1] != 6 {
+		t.Fatalf("Scale wrong: %v", k.Values)
+	}
+	if s.Values[0] != 1 {
+		t.Fatal("Scale mutated the receiver")
+	}
+}
+
+func TestAddSeries(t *testing.T) {
+	a := newTestSeries(time.Second, 1, 2, 3)
+	b := newTestSeries(time.Second, 10, 20)
+	sum := AddSeries(a, b)
+	want := []float64{11, 22, 3}
+	for i, w := range want {
+		if sum.Values[i] != w {
+			t.Errorf("sum[%d] = %v, want %v", i, sum.Values[i], w)
+		}
+	}
+}
+
+func TestAddSeriesStepMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSeries with mismatched steps should panic")
+		}
+	}()
+	AddSeries(NewSeries(time.Second), NewSeries(2*time.Second))
+}
+
+func TestMovingAveragePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MovingAverage(0) should panic")
+		}
+	}()
+	NewSeries(time.Second).MovingAverage(0)
+}
+
+func TestDownsamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Downsample(0) should panic")
+		}
+	}()
+	NewSeries(time.Second).Downsample(0)
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzRead hardens the trace parser: arbitrary input must either parse
+// into a valid trace or return an error — never panic, never yield a
+// trace that fails its own validation. Parsed traces must survive a
+// write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("# machines: 4\n0,60,0,0.5\n")
+	f.Add("0,60,7,0.5\n10,30,2,0.25")
+	f.Add("x,60,0,0.5\n")
+	f.Add("# comment only\n")
+	f.Add("")
+	f.Add("0, 60, 0, 0.5\r\n")
+	f.Add("0,60,0,0.5,9\n")
+	f.Add("-1,60,0,0.5\n")
+	f.Add("1e300,1e301,0,0.5\n")
+	f.Add(strings.Repeat("0,1,0,0.1\n", 50))
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Read returned an invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write failed on parsed trace: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.Tasks) != len(tr.Tasks) {
+			t.Fatalf("round trip changed task count: %d -> %d",
+				len(tr.Tasks), len(back.Tasks))
+		}
+	})
+}
+
+// FuzzMachineSeries hardens replay against arbitrary (valid) tasks.
+func FuzzMachineSeries(f *testing.F) {
+	f.Add(uint16(3), uint16(90), uint8(1), uint8(128))
+	f.Add(uint16(0), uint16(1), uint8(0), uint8(255))
+	f.Fuzz(func(t *testing.T, startS, durS uint16, machine, rate uint8) {
+		tr := &Trace{Machines: int(machine) + 1}
+		tr.Tasks = append(tr.Tasks, Task{
+			Start:   time.Duration(startS) * time.Second,
+			End:     time.Duration(int(startS)+int(durS)+1) * time.Second,
+			Machine: int(machine),
+			CPURate: float64(rate) / 255,
+		})
+		per, err := MachineSeries(tr, 10*time.Second)
+		if err != nil {
+			t.Fatalf("MachineSeries failed on valid trace: %v", err)
+		}
+		for m, s := range per {
+			for i, v := range s.Values {
+				if v < 0 || v > 1 {
+					t.Fatalf("machine %d bin %d out of range: %v", m, i, v)
+				}
+			}
+		}
+	})
+}

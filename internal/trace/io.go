@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The on-disk row format mirrors the Google trace rows the paper consumes:
+//
+//	start_seconds,end_seconds,machine_id,cpu_rate
+//
+// Lines starting with '#' are comments. Times are fractional seconds from
+// the trace origin.
+
+// Read parses a trace from r. The machine population is inferred as
+// max(machine_id)+1 unless a "# machines: N" header comment declares it.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	tr := &Trace{}
+	declaredMachines := 0
+	line := 0
+	for {
+		line++
+		raw, err := br.ReadString('\n')
+		if raw == "" && err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		s := trimEOL(raw)
+		if s == "" {
+			if err == io.EOF {
+				break
+			}
+			continue
+		}
+		if s[0] == '#' {
+			var n int
+			if _, scanErr := fmt.Sscanf(s, "# machines: %d", &n); scanErr == nil {
+				declaredMachines = n
+			}
+			if err == io.EOF {
+				break
+			}
+			continue
+		}
+		task, parseErr := parseRow(s)
+		if parseErr != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, parseErr)
+		}
+		tr.Tasks = append(tr.Tasks, task)
+		if task.Machine+1 > tr.Machines {
+			tr.Machines = task.Machine + 1
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+	if declaredMachines > tr.Machines {
+		tr.Machines = declaredMachines
+	}
+	if tr.Machines == 0 {
+		tr.Machines = 1
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func trimEOL(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func parseRow(s string) (Task, error) {
+	fields := strings.Split(s, ",")
+	if len(fields) != 4 {
+		return Task{}, fmt.Errorf("want 4 fields, got %d", len(fields))
+	}
+	for i, f := range fields {
+		fields[i] = strings.TrimSpace(f)
+	}
+	start, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Task{}, fmt.Errorf("bad start: %w", err)
+	}
+	end, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return Task{}, fmt.Errorf("bad end: %w", err)
+	}
+	machine, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return Task{}, fmt.Errorf("bad machine: %w", err)
+	}
+	rate, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return Task{}, fmt.Errorf("bad cpu rate: %w", err)
+	}
+	return Task{
+		Start:   time.Duration(start * float64(time.Second)),
+		End:     time.Duration(end * float64(time.Second)),
+		Machine: machine,
+		CPURate: rate,
+	}, nil
+}
+
+// Write emits tr to w in the row format, preceded by a machines header.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# machines: %d\n", tr.Machines); err != nil {
+		return err
+	}
+	for _, t := range tr.Tasks {
+		_, err := fmt.Fprintf(bw, "%.3f,%.3f,%d,%.6f\n",
+			t.Start.Seconds(), t.End.Seconds(), t.Machine, t.CPURate)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

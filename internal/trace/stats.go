@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Summary describes a trace's statistical features — the quantities one
+// checks when substituting a synthetic trace for the real Google trace.
+type Summary struct {
+	// Machines and Tasks are population counts.
+	Machines, Tasks int
+	// Horizon is the trace span.
+	Horizon time.Duration
+	// MeanTaskDuration and P95TaskDuration describe the run-time
+	// distribution.
+	MeanTaskDuration, P95TaskDuration time.Duration
+	// MeanCPURate is the mean per-task CPU demand.
+	MeanCPURate float64
+	// MeanUtilization and PeakUtilization are the cluster-mean CPU
+	// utilization statistics at the sampling step.
+	MeanUtilization, PeakUtilization float64
+	// UtilizationStdDev is the temporal standard deviation of the
+	// cluster-mean utilization (burstiness plus diurnal swing).
+	UtilizationStdDev float64
+	// MachineImbalance is the mean cross-machine utilization standard
+	// deviation.
+	MachineImbalance float64
+}
+
+// Summarize computes a trace summary at the given sampling step.
+func Summarize(tr *Trace, step time.Duration) (*Summary, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("trace: summary step must be positive, got %v", step)
+	}
+	s := &Summary{
+		Machines: tr.Machines,
+		Tasks:    len(tr.Tasks),
+		Horizon:  tr.Horizon(),
+	}
+	if len(tr.Tasks) > 0 {
+		durs := make([]float64, len(tr.Tasks))
+		rates := make([]float64, len(tr.Tasks))
+		for i, task := range tr.Tasks {
+			durs[i] = task.Duration().Seconds()
+			rates[i] = task.CPURate
+		}
+		s.MeanTaskDuration = time.Duration(stats.Mean(durs) * float64(time.Second))
+		s.P95TaskDuration = time.Duration(stats.Percentile(durs, 95) * float64(time.Second))
+		s.MeanCPURate = stats.Mean(rates)
+	}
+	per, err := MachineSeries(tr, step)
+	if err != nil {
+		return nil, err
+	}
+	if len(per) == 0 || per[0].Len() == 0 {
+		return s, nil
+	}
+	n := per[0].Len()
+	clusterMean := make([]float64, n)
+	imbalance := make([]float64, n)
+	machineVals := make([]float64, len(per))
+	for k := 0; k < n; k++ {
+		for m := range per {
+			machineVals[m] = per[m].Values[k]
+		}
+		clusterMean[k] = stats.Mean(machineVals)
+		imbalance[k] = stats.StdDev(machineVals)
+	}
+	s.MeanUtilization = stats.Mean(clusterMean)
+	_, s.PeakUtilization = stats.MinMax(clusterMean)
+	s.UtilizationStdDev = stats.StdDev(clusterMean)
+	s.MachineImbalance = stats.Mean(imbalance)
+	return s, nil
+}
+
+// Slice returns the sub-trace covering [from, to): tasks overlapping the
+// window, clipped to it and re-based so the slice starts at zero.
+func Slice(tr *Trace, from, to time.Duration) (*Trace, error) {
+	if to <= from || from < 0 {
+		return nil, fmt.Errorf("trace: invalid slice window [%v, %v)", from, to)
+	}
+	out := &Trace{Machines: tr.Machines}
+	for _, task := range tr.Tasks {
+		if task.End <= from || task.Start >= to {
+			continue
+		}
+		t := task
+		if t.Start < from {
+			t.Start = from
+		}
+		if t.End > to {
+			t.End = to
+		}
+		t.Start -= from
+		t.End -= from
+		out.Tasks = append(out.Tasks, t)
+	}
+	return out, nil
+}
+
+// FilterMachines returns the sub-trace of tasks on machines [lo, hi),
+// re-numbered to [0, hi-lo) — e.g. one rack's worth of a cluster trace.
+func FilterMachines(tr *Trace, lo, hi int) (*Trace, error) {
+	if lo < 0 || hi <= lo || hi > tr.Machines {
+		return nil, fmt.Errorf("trace: invalid machine window [%d, %d) of %d",
+			lo, hi, tr.Machines)
+	}
+	out := &Trace{Machines: hi - lo}
+	for _, task := range tr.Tasks {
+		if task.Machine < lo || task.Machine >= hi {
+			continue
+		}
+		t := task
+		t.Machine -= lo
+		out.Tasks = append(out.Tasks, t)
+	}
+	return out, nil
+}

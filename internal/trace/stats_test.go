@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSummarizeKnownTrace(t *testing.T) {
+	tr := &Trace{Machines: 2, Tasks: []Task{
+		{Start: 0, End: 10 * time.Second, Machine: 0, CPURate: 0.4},
+		{Start: 0, End: 10 * time.Second, Machine: 1, CPURate: 0.8},
+		{Start: 10 * time.Second, End: 20 * time.Second, Machine: 0, CPURate: 0.2},
+	}}
+	s, err := Summarize(tr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machines != 2 || s.Tasks != 3 {
+		t.Fatalf("population wrong: %+v", s)
+	}
+	if s.Horizon != 20*time.Second {
+		t.Fatalf("horizon = %v", s.Horizon)
+	}
+	if s.MeanTaskDuration != 10*time.Second {
+		t.Fatalf("mean duration = %v", s.MeanTaskDuration)
+	}
+	wantRate := (0.4 + 0.8 + 0.2) / 3
+	if math.Abs(s.MeanCPURate-wantRate) > 1e-12 {
+		t.Fatalf("mean rate = %v, want %v", s.MeanCPURate, wantRate)
+	}
+	// Bin 0: machines at 0.4 and 0.8 (mean 0.6); bin 1: 0.2 and 0 (mean 0.1).
+	if math.Abs(s.MeanUtilization-0.35) > 1e-12 {
+		t.Fatalf("mean utilization = %v, want 0.35", s.MeanUtilization)
+	}
+	if math.Abs(s.PeakUtilization-0.6) > 1e-12 {
+		t.Fatalf("peak utilization = %v, want 0.6", s.PeakUtilization)
+	}
+	if s.MachineImbalance <= 0 {
+		t.Fatal("imbalance should be positive for uneven machines")
+	}
+}
+
+func TestSummarizeValidation(t *testing.T) {
+	tr := &Trace{Machines: 1}
+	if _, err := Summarize(tr, 0); err == nil {
+		t.Error("zero step should fail")
+	}
+	if _, err := Summarize(&Trace{}, time.Second); err == nil {
+		t.Error("invalid trace should fail")
+	}
+	// Empty-but-valid trace summarizes to zeros.
+	s, err := Summarize(tr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tasks != 0 || s.MeanUtilization != 0 {
+		t.Fatalf("empty summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeSyntheticMatchesConfig(t *testing.T) {
+	tr, err := Generate(SynthConfig{Machines: 50, Horizon: 24 * time.Hour, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(tr, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generator targets 0.45 mean utilization and 20-minute tasks.
+	if s.MeanUtilization < 0.25 || s.MeanUtilization > 0.65 {
+		t.Fatalf("synthetic mean utilization = %v", s.MeanUtilization)
+	}
+	if s.MeanTaskDuration < 5*time.Minute || s.MeanTaskDuration > time.Hour {
+		t.Fatalf("synthetic mean duration = %v", s.MeanTaskDuration)
+	}
+	if s.UtilizationStdDev <= 0 {
+		t.Fatal("diurnal pattern should give temporal variation")
+	}
+	if s.P95TaskDuration <= s.MeanTaskDuration {
+		t.Fatal("heavy-tailed durations: p95 should exceed the mean")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := &Trace{Machines: 1, Tasks: []Task{
+		{Start: 0, End: 10 * time.Second, CPURate: 0.1},                // clipped at front
+		{Start: 5 * time.Second, End: 15 * time.Second, CPURate: 0.2},  // inside
+		{Start: 18 * time.Second, End: 30 * time.Second, CPURate: 0.3}, // clipped at back
+		{Start: 40 * time.Second, End: 50 * time.Second, CPURate: 0.4}, // outside
+	}}
+	out, err := Slice(tr, 5*time.Second, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tasks) != 3 {
+		t.Fatalf("tasks = %d, want 3", len(out.Tasks))
+	}
+	// Re-based: first task now [0, 5).
+	if out.Tasks[0].Start != 0 || out.Tasks[0].End != 5*time.Second {
+		t.Fatalf("clip/rebase wrong: %+v", out.Tasks[0])
+	}
+	if out.Tasks[2].End != 15*time.Second {
+		t.Fatalf("back clip wrong: %+v", out.Tasks[2])
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("sliced trace invalid: %v", err)
+	}
+	if _, err := Slice(tr, 10*time.Second, 5*time.Second); err == nil {
+		t.Error("inverted window should fail")
+	}
+	if _, err := Slice(tr, -time.Second, 5*time.Second); err == nil {
+		t.Error("negative start should fail")
+	}
+}
+
+func TestFilterMachines(t *testing.T) {
+	tr := &Trace{Machines: 30, Tasks: []Task{
+		{Start: 0, End: time.Second, Machine: 5, CPURate: 0.1},
+		{Start: 0, End: time.Second, Machine: 10, CPURate: 0.2},
+		{Start: 0, End: time.Second, Machine: 19, CPURate: 0.3},
+		{Start: 0, End: time.Second, Machine: 20, CPURate: 0.4},
+	}}
+	out, err := FilterMachines(tr, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Machines != 10 {
+		t.Fatalf("machines = %d", out.Machines)
+	}
+	if len(out.Tasks) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(out.Tasks))
+	}
+	if out.Tasks[0].Machine != 0 || out.Tasks[1].Machine != 9 {
+		t.Fatalf("renumbering wrong: %+v", out.Tasks)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("filtered trace invalid: %v", err)
+	}
+	if _, err := FilterMachines(tr, 20, 10); err == nil {
+		t.Error("inverted window should fail")
+	}
+	if _, err := FilterMachines(tr, 0, 99); err == nil {
+		t.Error("out-of-range window should fail")
+	}
+}

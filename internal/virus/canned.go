@@ -1,0 +1,69 @@
+package virus
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Canned attack scenarios matching the two collected traces the paper's
+// methodology feeds into its simulator (Figure 12): a dense, extensive
+// spike train and a sparse, light-weight one.
+
+// Scenario bundles a named attack configuration.
+type Scenario struct {
+	Name string
+	// SpikeWidth and SpikesPerMinute shape Phase II.
+	SpikeWidth      time.Duration
+	SpikesPerMinute float64
+	// RestFraction is the between-spike utilization.
+	RestFraction float64
+}
+
+// The two evaluated scenarios.
+var (
+	// DenseAttack: wide spikes fired often — aggressive and extensive.
+	DenseAttack = Scenario{
+		Name:            "Dense",
+		SpikeWidth:      4 * time.Second,
+		SpikesPerMinute: 6,
+		RestFraction:    0.35,
+	}
+	// SparseAttack: narrow, infrequent spikes — light-weight and stealthy.
+	SparseAttack = Scenario{
+		Name:            "Sparse",
+		SpikeWidth:      time.Second,
+		SpikesPerMinute: 1,
+		RestFraction:    0.25,
+	}
+)
+
+// Scenarios lists the canned scenarios in presentation order.
+func Scenarios() []Scenario { return []Scenario{DenseAttack, SparseAttack} }
+
+// Configure builds an attack Config for the scenario with the given virus
+// profile and seed.
+func (s Scenario) Configure(p Profile, seed uint64) Config {
+	return Config{
+		Profile:         p,
+		SpikeWidth:      s.SpikeWidth,
+		SpikesPerMinute: s.SpikesPerMinute,
+		RestFraction:    s.RestFraction,
+		Seed:            seed,
+	}
+}
+
+// UtilizationTrace renders the scenario open-loop (no capping feedback)
+// into a utilization series, the shape Figure 12 plots. The attack is
+// forced into Phase II from the start so the trace shows the spike train.
+func (s Scenario) UtilizationTrace(p Profile, duration, step time.Duration, seed uint64) *stats.Series {
+	cfg := s.Configure(p, seed)
+	cfg.PrepDuration = step // skip prep after one tick
+	cfg.MaxPhaseI = step    // skip drain after one tick
+	a := MustNew(cfg)
+	out := stats.NewSeries(step)
+	for t := time.Duration(0); t < duration; t += step {
+		out.Append(a.Step(step, Observation{}))
+	}
+	return out
+}

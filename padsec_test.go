@@ -1,0 +1,127 @@
+package padsec
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// The facade tests exercise the public API end to end, the way the
+// examples and downstream users do.
+
+func TestFacadeQuickAttackRun(t *testing.T) {
+	cfg := ClusterConfig{
+		Racks:          2,
+		ServersPerRack: 5,
+		Duration:       5 * time.Minute,
+		Tick:           200 * time.Millisecond,
+		Background:     FlatBackground(10, 0.5),
+		Attack: NewAttack(3, AttackConfig{
+			Profile:      CPUIntensive,
+			PrepDuration: time.Second,
+			MaxPhaseI:    2 * time.Minute,
+		}),
+		StopOnTrip: true,
+	}
+	conv, err := Run(cfg, NewConv(SchemeOptions{ServersPerRack: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conv.Tripped {
+		t.Fatal("undefended cluster should trip under this attack")
+	}
+
+	cfg.MicroDEBFactory = NewMicroDEBFactory(0.01)
+	pad, err := Run(cfg, NewPAD(SchemeOptions{ServersPerRack: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pad.SurvivalTime <= conv.SurvivalTime {
+		t.Fatalf("PAD (%v) should outlive Conv (%v)", pad.SurvivalTime, conv.SurvivalTime)
+	}
+}
+
+func TestFacadeAllSchemesConstruct(t *testing.T) {
+	for _, mk := range []func(SchemeOptions) Scheme{
+		NewConv, NewPS, NewPSPC, NewVDEB, NewUDEB, NewPAD,
+	} {
+		s := mk(SchemeOptions{})
+		if s.Name() == "" {
+			t.Error("scheme without a name")
+		}
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	tr, err := GenerateTrace(TraceConfig{Machines: 10, Horizon: 2 * time.Hour, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Machines != tr.Machines || len(back.Tasks) != len(tr.Tasks) {
+		t.Fatalf("round trip changed the trace: %d/%d tasks", len(back.Tasks), len(tr.Tasks))
+	}
+	bg, err := TraceBackground(tr, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bg) != 10 {
+		t.Fatalf("background series = %d, want 10", len(bg))
+	}
+}
+
+func TestFacadeBatteryConstruction(t *testing.T) {
+	b := NewRackBattery(5210)
+	if b.SOC() != 1 {
+		t.Fatal("rack battery should start full")
+	}
+	if got := b.Discharge(5210, time.Second); got < 5210 {
+		t.Fatalf("fresh cabinet delivered %v of 5210 W", got)
+	}
+	f := NewMicroDEBFactory(0.01)
+	u := f(5210, 3900)
+	if u.SOC() != 1 || u.Capacity() <= 0 {
+		t.Fatal("μDEB factory produced a bad bank")
+	}
+}
+
+func TestFacadeFlatBackground(t *testing.T) {
+	bg := FlatBackground(4, 0.3)
+	if len(bg) != 4 {
+		t.Fatalf("series = %d", len(bg))
+	}
+	for _, s := range bg {
+		if s.Interp(30*time.Minute) != 0.3 {
+			t.Fatal("background not flat at 0.3")
+		}
+	}
+}
+
+func TestFacadeExperimentRunner(t *testing.T) {
+	r, err := Fig12(ExperimentParams{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dense.Len() == 0 {
+		t.Fatal("experiment returned no data")
+	}
+}
+
+func TestFacadeVirusExports(t *testing.T) {
+	if CPUIntensive.Name != "CPU" || MemIntensive.Name != "Mem" || IOIntensive.Name != "IO" {
+		t.Fatal("virus profile exports wrong")
+	}
+	if DenseAttack.SpikesPerMinute <= SparseAttack.SpikesPerMinute {
+		t.Fatal("dense attack should fire more often than sparse")
+	}
+	if Level1 >= Level2 || Level2 >= Level3 {
+		t.Fatal("security levels should be ordered")
+	}
+}
