@@ -7,6 +7,12 @@
 //	experiments                 # full-scale run of everything
 //	experiments -quick          # second-scale run, shapes preserved
 //	experiments -only fig15     # one experiment
+//	experiments -workers 1      # sequential legacy path
+//
+// Independent simulation runs within each experiment fan out across
+// -workers goroutines (default: GOMAXPROCS). The output is byte-identical
+// at any worker count; -workers 1 runs everything inline on the calling
+// goroutine.
 package main
 
 import (
@@ -15,34 +21,45 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
-type runner struct {
+type experiment struct {
 	name string
 	run  func(experiments.Params, string) error
 }
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run second-scale versions (shapes preserved)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		only    = flag.String("only", "", "comma-separated experiment names (fig5, table1, ...); empty runs all")
-		results = flag.String("results", "results", "output directory for CSV artifacts")
+		quick    = flag.Bool("quick", false, "run second-scale versions (shapes preserved)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		only     = flag.String("only", "", "comma-separated experiment names (fig5, table1, ...); empty runs all")
+		results  = flag.String("results", "results", "output directory for CSV artifacts")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker goroutines (1 = sequential)")
+		progress = flag.Bool("progress", false, "report per-run progress and ETA on stderr")
 	)
 	flag.Parse()
 
-	p := experiments.Params{Quick: *quick, Seed: *seed}
+	p := experiments.Params{Quick: *quick, Seed: *seed, Workers: *workers}
+	if *progress {
+		p.Progress = func(pr runner.Progress) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %-40s elapsed %v eta %v\n",
+				pr.Done, pr.Total, pr.Key,
+				pr.Elapsed.Round(time.Second), pr.ETA.Round(time.Second))
+		}
+	}
 	if err := os.MkdirAll(*results, 0o755); err != nil {
 		fatal(err)
 	}
 
-	all := []runner{
+	all := []experiment{
 		{"fig1", runFig1}, {"fig5", runFig5}, {"fig6", runFig6},
 		{"fig7", runFig7}, {"fig8a", runFig8A}, {"fig8b", runFig8B},
 		{"fig8c", runFig8C}, {"table1", runTable1}, {"fig12", runFig12},

@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -44,6 +46,7 @@ func main() {
 		stopOnTrip  = flag.Bool("stop-on-trip", true, "end the run at the first breaker trip")
 		compare     = flag.Bool("compare", false, "run all six schemes and chart their survival")
 		chart       = flag.Bool("chart", false, "plot the cluster feed draw and mean battery SOC over the run")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for -compare (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -57,7 +60,12 @@ func main() {
 		Background:            noisyBackground(*racks**spr, *bgMean, *duration, *seed),
 		StopOnTrip:            *stopOnTrip,
 	}
-	if *attackNodes > 0 {
+	// An Attack is stateful and stepped by the engine, so every run needs
+	// its own instance; mkAttack builds one from the flags.
+	mkAttack := func() *sim.AttackSpec {
+		if *attackNodes <= 0 {
+			return nil
+		}
 		prof, err := virus.ProfileByName(*profileName)
 		if err != nil {
 			fatal(err)
@@ -75,14 +83,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		cfg.Attack = &sim.AttackSpec{Servers: servers, Attack: atk}
+		return &sim.AttackSpec{Servers: servers, Attack: atk}
 	}
 
 	opts := schemes.Options{ServersPerRack: *spr}
 	if *compare {
-		runComparison(cfg, opts, *microFrac)
+		runComparison(cfg, mkAttack, opts, *microFrac, *workers)
 		return
 	}
+	cfg.Attack = mkAttack()
 	var scheme sim.Scheme
 	switch *schemeName {
 	case "Conv":
@@ -170,9 +179,13 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// runComparison executes the same scenario under all six schemes and
-// prints a survival bar chart.
-func runComparison(base sim.Config, opts schemes.Options, microFrac float64) {
+// runComparison executes the same scenario under all six schemes in the
+// worker pool and prints a survival bar chart. Each run gets its own
+// Config copy and a fresh Attack instance (the Attack is stateful), so
+// every scheme faces the identical scenario and the bars are independent
+// of the worker count.
+func runComparison(base sim.Config, mkAttack func() *sim.AttackSpec,
+	opts schemes.Options, microFrac float64, workers int) {
 	type entry struct {
 		name  string
 		mk    func() sim.Scheme
@@ -186,16 +199,28 @@ func runComparison(base sim.Config, opts schemes.Options, microFrac float64) {
 		{"vDEB", func() sim.Scheme { return schemes.NewVDEB(opts) }, false},
 		{"PAD", func() sim.Scheme { return schemes.NewPAD(opts) }, true},
 	}
-	chart := &report.BarChart{Title: "Survival time (s) under this scenario"}
+	var jobs []runner.Job[*sim.Result]
 	for _, e := range entries {
-		cfg := base
-		if e.micro {
-			cfg.MicroDEBFactory = microFactory(microFrac)
-		}
-		res, err := sim.Run(cfg, e.mk())
-		if err != nil {
-			fatal(err)
-		}
+		jobs = append(jobs, runner.Job[*sim.Result]{
+			Key: "padsim/compare/" + e.name,
+			Run: func() (*sim.Result, error) {
+				cfg := base
+				cfg.Key = "padsim/compare/" + e.name
+				cfg.Attack = mkAttack()
+				if e.micro {
+					cfg.MicroDEBFactory = microFactory(microFrac)
+				}
+				return sim.Run(cfg, e.mk())
+			},
+		})
+	}
+	results, err := runner.Collect(runner.Pool{Workers: workers}, jobs)
+	if err != nil {
+		fatal(err)
+	}
+	chart := &report.BarChart{Title: "Survival time (s) under this scenario"}
+	for i, e := range entries {
+		res := results[i]
 		label := e.name
 		if !res.Tripped {
 			label += " (no trip)"

@@ -16,7 +16,10 @@ import (
 )
 
 // Store is an energy storage device. Implementations are not safe for
-// concurrent use; the simulator steps each store from a single goroutine.
+// concurrent use: each store belongs to exactly one simulation run and is
+// stepped only by that run's goroutine. The parallel sweep runner
+// (internal/runner) keeps this sound by constructing every store inside
+// the job that uses it — stores are never shared across concurrent runs.
 type Store interface {
 	// Discharge asks the store to deliver req for dt and returns the power
 	// it actually sustained over the step (0 <= returned <= req). The

@@ -67,46 +67,48 @@ const (
 )
 
 // NewKiBaM constructs a battery from cfg, applying documented defaults.
+// Range checks are written in accept-range (negated) form so NaN and ±Inf
+// fields are rejected instead of slipping past reject-range comparisons.
 func NewKiBaM(cfg KiBaMConfig) (*KiBaM, error) {
-	if cfg.Capacity <= 0 {
-		return nil, fmt.Errorf("battery: capacity must be positive, got %v", cfg.Capacity)
+	if !(cfg.Capacity > 0) || math.IsInf(float64(cfg.Capacity), 0) {
+		return nil, fmt.Errorf("battery: capacity must be positive and finite, got %v", cfg.Capacity)
 	}
 	c := cfg.C
 	if c == 0 {
 		c = DefaultC
 	}
-	if c <= 0 || c >= 1 {
+	if !(c > 0 && c < 1) {
 		return nil, fmt.Errorf("battery: well fraction c must be in (0,1), got %v", c)
 	}
 	k := cfg.K
 	if k == 0 {
 		k = DefaultK
 	}
-	if k <= 0 {
-		return nil, fmt.Errorf("battery: rate constant k must be positive, got %v", k)
+	if !(k > 0) || math.IsInf(k, 0) {
+		return nil, fmt.Errorf("battery: rate constant k must be positive and finite, got %v", k)
 	}
 	maxD := cfg.MaxDischarge
 	if maxD == 0 {
 		maxD = units.Watts(float64(cfg.Capacity) / 300)
 	}
-	if maxD <= 0 {
-		return nil, fmt.Errorf("battery: max discharge must be positive, got %v", maxD)
+	if !(maxD > 0) || math.IsInf(float64(maxD), 0) {
+		return nil, fmt.Errorf("battery: max discharge must be positive and finite, got %v", maxD)
 	}
 	maxC := cfg.MaxCharge
 	if maxC == 0 {
 		maxC = units.Watts(float64(cfg.Capacity) / (5 * 3600))
 	}
-	if maxC <= 0 {
-		return nil, fmt.Errorf("battery: max charge must be positive, got %v", maxC)
+	if !(maxC > 0) || math.IsInf(float64(maxC), 0) {
+		return nil, fmt.Errorf("battery: max charge must be positive and finite, got %v", maxC)
 	}
 	soc := cfg.InitialSOC
 	if soc == 0 {
 		soc = 1
 	}
-	if soc < 0 || soc > 1 {
+	if !(soc >= 0 && soc <= 1) {
 		return nil, fmt.Errorf("battery: initial SOC must be in [0,1], got %v", soc)
 	}
-	if cfg.SelfDischargePerMonth < 0 || cfg.SelfDischargePerMonth >= 1 {
+	if !(cfg.SelfDischargePerMonth >= 0 && cfg.SelfDischargePerMonth < 1) {
 		return nil, fmt.Errorf("battery: self-discharge %v out of [0,1)", cfg.SelfDischargePerMonth)
 	}
 	leak := 0.0
@@ -186,9 +188,10 @@ func (b *KiBaM) maxSustainable(dt time.Duration) float64 {
 	return a / bb
 }
 
-// Discharge implements Store.
+// Discharge implements Store. A NaN request is treated as zero (the
+// negated comparison sends it down the idle path).
 func (b *KiBaM) Discharge(req units.Watts, dt time.Duration) units.Watts {
-	if req <= 0 || dt <= 0 {
+	if !(req > 0) || dt <= 0 {
 		b.Idle(dt)
 		return 0
 	}
@@ -204,9 +207,9 @@ func (b *KiBaM) Discharge(req units.Watts, dt time.Duration) units.Watts {
 	return got
 }
 
-// Charge implements Store.
+// Charge implements Store. A NaN offer is treated as zero.
 func (b *KiBaM) Charge(offered units.Watts, dt time.Duration) units.Watts {
-	if offered <= 0 || dt <= 0 {
+	if !(offered > 0) || dt <= 0 {
 		b.Idle(dt)
 		return 0
 	}
@@ -247,15 +250,17 @@ func (b *KiBaM) Idle(dt time.Duration) {
 	}
 }
 
-// SOC implements Store.
+// SOC implements Store. The ratio is clamped to [0,1]: splitting the
+// capacity across the wells at construction can round the sum a few ULPs
+// above the capacity.
 func (b *KiBaM) SOC() float64 {
-	return (b.y1 + b.y2) / float64(b.capacity)
+	return math.Min(1, math.Max(0, (b.y1+b.y2)/float64(b.capacity)))
 }
 
 // AvailableSOC returns the fill level of the available well alone, the
 // quantity an LVD device effectively senses through terminal voltage.
 func (b *KiBaM) AvailableSOC() float64 {
-	return b.y1 / (b.c * float64(b.capacity))
+	return math.Min(1, math.Max(0, b.y1/(b.c*float64(b.capacity))))
 }
 
 // Capacity implements Store.

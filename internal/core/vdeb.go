@@ -3,6 +3,10 @@
 // pool controller (Algorithm 1), the μDEB spike shaver built on an ORing
 // FET and a super-capacitor bank, the three-level hierarchical security
 // policy of Figure 9, and the emergency load-shedding planner.
+//
+// Concurrency: controllers and μDEB units hold per-run state and are not
+// safe for concurrent use; each belongs to the single simulation run (and
+// goroutine) that constructed it.
 package core
 
 import (

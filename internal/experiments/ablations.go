@@ -10,6 +10,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/powersim"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -37,12 +38,13 @@ type AblationResult struct {
 
 // ablationSurvivalRun executes a standard Fig15-style dense attack
 // against one scheme configuration and reports survival.
-func ablationSurvivalRun(p Params, mk func() sim.Scheme, micro bool, horizon time.Duration) (*sim.Result, error) {
+func ablationSurvivalRun(p Params, key string, mk func() sim.Scheme, micro bool, horizon time.Duration) (*sim.Result, error) {
 	racks := scaleInt(p, 12, 6)
 	const spr = 10
 	bg := burstyRampBackground(racks*spr, 0.48, 0.78, horizon, p.seed()+61,
 		3*time.Minute, 20*time.Second, 0.15)
 	cfg := sim.Config{
+		Key:                key,
 		Racks:              racks,
 		ServersPerRack:     spr,
 		Tick:               200 * time.Millisecond,
@@ -76,14 +78,25 @@ func AblationPIdeal(p Params) (*AblationResult, error) {
 	tbl := report.NewTable(
 		"Ablation — Algorithm 1 PIdeal bound (vDEB scheme, dense attack)",
 		"PIdeal(xNameplate)", "Survival(s)", "MaxRackDischarge(W)")
+	var jobs []runner.Job[*sim.Result]
 	for _, f := range fractions {
-		pi := units.Watts(521 * 10 * f)
-		res, err := ablationSurvivalRun(p, func() sim.Scheme {
-			return schemes.NewVDEB(schemes.Options{PIdeal: pi})
-		}, false, horizon)
-		if err != nil {
-			return nil, err
-		}
+		key := fmt.Sprintf("ablation/pideal/f=%g", f)
+		jobs = append(jobs, runner.Job[*sim.Result]{
+			Key: key,
+			Run: func() (*sim.Result, error) {
+				pi := units.Watts(521 * 10 * f)
+				return ablationSurvivalRun(p, key, func() sim.Scheme {
+					return schemes.NewVDEB(schemes.Options{PIdeal: pi})
+				}, false, horizon)
+			},
+		})
+	}
+	results, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range fractions {
+		res := results[i]
 		out.Points = append(out.Points, AblationPoint{
 			Label: "vDEB", X: f, Survival: res.SurvivalTime,
 			Extra: float64(res.MaxRackDischarge),
@@ -105,15 +118,26 @@ func AblationGovernor(p Params) (*AblationResult, error) {
 	tbl := report.NewTable(
 		"Ablation — capping monitoring latency (PSPC scheme, dense attack)",
 		"MonitoringTau", "Survival(s)", "Throughput")
+	var jobs []runner.Job[*sim.Result]
 	for _, tau := range taus {
-		res, err := ablationSurvivalRun(p, func() sim.Scheme {
-			s := schemes.NewPSPC(schemes.Options{})
-			s.SetMonitoringTau(tau)
-			return s
-		}, false, horizon)
-		if err != nil {
-			return nil, err
-		}
+		key := fmt.Sprintf("ablation/governor/tau=%v", tau)
+		jobs = append(jobs, runner.Job[*sim.Result]{
+			Key: key,
+			Run: func() (*sim.Result, error) {
+				return ablationSurvivalRun(p, key, func() sim.Scheme {
+					s := schemes.NewPSPC(schemes.Options{})
+					s.SetMonitoringTau(tau)
+					return s
+				}, false, horizon)
+			},
+		})
+	}
+	results, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, tau := range taus {
+		res := results[i]
 		out.Points = append(out.Points, AblationPoint{
 			Label: tau.String(), X: tau.Seconds(),
 			Survival: res.SurvivalTime, Extra: res.Throughput,
@@ -133,13 +157,24 @@ func AblationCharging(p Params) (*AblationResult, error) {
 	tbl := report.NewTable(
 		"Ablation — charging policy under attack (PS scheme)",
 		"Charging", "Survival(s)")
+	var jobs []runner.Job[*sim.Result]
 	for _, offline := range []bool{false, true} {
-		res, err := ablationSurvivalRun(p, func() sim.Scheme {
-			return schemes.NewPS(schemes.Options{Offline: offline, OfflineThreshold: 0.15})
-		}, false, horizon)
-		if err != nil {
-			return nil, err
-		}
+		key := fmt.Sprintf("ablation/charging/offline=%v", offline)
+		jobs = append(jobs, runner.Job[*sim.Result]{
+			Key: key,
+			Run: func() (*sim.Result, error) {
+				return ablationSurvivalRun(p, key, func() sim.Scheme {
+					return schemes.NewPS(schemes.Options{Offline: offline, OfflineThreshold: 0.15})
+				}, false, horizon)
+			},
+		})
+	}
+	results, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, offline := range []bool{false, true} {
+		res := results[i]
 		label := "online"
 		if offline {
 			label = "offline"
@@ -177,13 +212,33 @@ func AblationDetectors(p Params) (*AblationResult, error) {
 		{"4s/6min split", 4 * time.Second, 6, 0.25},
 	}
 	const interval = 5 * time.Second
+	type shapeRun struct {
+		rec      *sim.Recording
+		spikes   []time.Duration
+		baseline units.Watts
+	}
+	var jobs []runner.Job[shapeRun]
 	for _, sh := range shapes {
-		rec, spikes, baseline, err := table1Run(p, 4, sh.scale, sh.width, sh.perMin, horizon)
-		if err != nil {
-			return nil, err
-		}
-		thRate := meterAndDetect(rec, spikes, baseline, interval, p.seed())
-		cuRate := meterAndDetectCUSUM(rec, spikes, baseline, interval, p.seed())
+		key := "ablation/detectors/" + sh.label
+		jobs = append(jobs, runner.Job[shapeRun]{
+			Key: key,
+			Run: func() (shapeRun, error) {
+				rec, spikes, baseline, err := table1Run(p, key, 4, sh.scale, sh.width, sh.perMin, horizon)
+				if err != nil {
+					return shapeRun{}, err
+				}
+				return shapeRun{rec: rec, spikes: spikes, baseline: baseline}, nil
+			},
+		})
+	}
+	runs, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, sh := range shapes {
+		run := runs[i]
+		thRate := meterAndDetect(run.rec, run.spikes, run.baseline, interval, p.seed())
+		cuRate := meterAndDetectCUSUM(run.rec, run.spikes, run.baseline, interval, p.seed())
 		out.Points = append(out.Points, AblationPoint{
 			Label: sh.label, X: thRate, Extra: cuRate,
 		})
@@ -222,32 +277,55 @@ func AblationPlacement(p Params) (*AblationResult, error) {
 	tbl := report.NewTable(
 		"Ablation — attack preparation cost (probes to land 4 servers on one rack)",
 		"Policy", "Occupancy", "MeanProbes", "SuccessRate")
-	for _, policy := range []placement.Policy{
+	policies := []placement.Policy{
 		placement.PackLowestID, placement.SpreadLeastLoaded, placement.RandomFit,
-	} {
-		for _, occ := range []float64{0.4, 0.7} {
-			total, ok := 0, 0
-			for trial := 0; trial < trials; trial++ {
-				res, err := placement.RunCampaign(placement.CampaignConfig{
-					Policy:     policy,
-					Occupancy:  occ,
-					TargetRack: -1,
-					Seed:       p.seed() + uint64(trial)*131,
-				})
-				if err != nil {
-					return nil, err
-				}
-				total += res.Probes
-				if res.Succeeded {
-					ok++
-				}
-			}
-			mean := float64(total) / float64(trials)
-			rate := float64(ok) / float64(trials)
-			out.Points = append(out.Points, AblationPoint{
-				Label: policy.String(), X: occ, Extra: mean,
+	}
+	occupancies := []float64{0.4, 0.7}
+	type campaign struct{ mean, rate float64 }
+	var jobs []runner.Job[campaign]
+	for _, policy := range policies {
+		for _, occ := range occupancies {
+			key := fmt.Sprintf("ablation/placement/%s/occ=%g", policy, occ)
+			jobs = append(jobs, runner.Job[campaign]{
+				Key: key,
+				Run: func() (campaign, error) {
+					total, ok := 0, 0
+					for trial := 0; trial < trials; trial++ {
+						res, err := placement.RunCampaign(placement.CampaignConfig{
+							Policy:     policy,
+							Occupancy:  occ,
+							TargetRack: -1,
+							Seed:       p.seed() + uint64(trial)*131,
+						})
+						if err != nil {
+							return campaign{}, err
+						}
+						total += res.Probes
+						if res.Succeeded {
+							ok++
+						}
+					}
+					return campaign{
+						mean: float64(total) / float64(trials),
+						rate: float64(ok) / float64(trials),
+					}, nil
+				},
 			})
-			tbl.AddRow(policy.String(), occ, mean, rate)
+		}
+	}
+	results, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, policy := range policies {
+		for _, occ := range occupancies {
+			c := results[k]
+			k++
+			out.Points = append(out.Points, AblationPoint{
+				Label: policy.String(), X: occ, Extra: c.mean,
+			})
+			tbl.AddRow(policy.String(), occ, c.mean, c.rate)
 		}
 	}
 	out.Table = tbl
@@ -280,33 +358,45 @@ func AblationGranularity(p Params) (*AblationResult, error) {
 			return bank
 		}},
 	}
+	var jobs []runner.Job[*sim.Result]
 	for _, d := range deployments {
-		racks := scaleInt(p, 12, 6)
-		const spr = 10
-		bg := burstyRampBackground(racks*spr, 0.48, 0.78, horizon, p.seed()+61,
-			3*time.Minute, 20*time.Second, 0.15)
-		cfg := sim.Config{
-			Racks:              racks,
-			ServersPerRack:     spr,
-			Tick:               200 * time.Millisecond,
-			Duration:           horizon,
-			OvershootTolerance: 0.04,
-			Background:         bg,
-			StopOnTrip:         true,
-			BatteryFactory:     d.factory,
-			Attack: attackSpec(4, virus.Config{
-				Profile:         virus.CPUIntensive,
-				SpikeWidth:      4 * time.Second,
-				SpikesPerMinute: 6,
-				PrepDuration:    time.Minute,
-				MaxPhaseI:       3 * time.Minute,
-				Seed:            p.seed(),
-			}),
-		}
-		res, err := sim.Run(cfg, schemes.NewPS(schemes.Options{}))
-		if err != nil {
-			return nil, err
-		}
+		key := "ablation/granularity/" + d.label
+		jobs = append(jobs, runner.Job[*sim.Result]{
+			Key: key,
+			Run: func() (*sim.Result, error) {
+				racks := scaleInt(p, 12, 6)
+				const spr = 10
+				bg := burstyRampBackground(racks*spr, 0.48, 0.78, horizon, p.seed()+61,
+					3*time.Minute, 20*time.Second, 0.15)
+				cfg := sim.Config{
+					Key:                key,
+					Racks:              racks,
+					ServersPerRack:     spr,
+					Tick:               200 * time.Millisecond,
+					Duration:           horizon,
+					OvershootTolerance: 0.04,
+					Background:         bg,
+					StopOnTrip:         true,
+					BatteryFactory:     d.factory,
+					Attack: attackSpec(4, virus.Config{
+						Profile:         virus.CPUIntensive,
+						SpikeWidth:      4 * time.Second,
+						SpikesPerMinute: 6,
+						PrepDuration:    time.Minute,
+						MaxPhaseI:       3 * time.Minute,
+						Seed:            p.seed(),
+					}),
+				}
+				return sim.Run(cfg, schemes.NewPS(schemes.Options{}))
+			},
+		})
+	}
+	results, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range deployments {
+		res := results[i]
 		out.Points = append(out.Points, AblationPoint{
 			Label: d.label, Survival: res.SurvivalTime,
 			Extra: float64(res.EnergyFromBatteries) / 1000,
@@ -329,11 +419,32 @@ func AblationJitter(p Params) (*AblationResult, error) {
 	tbl := report.NewTable(
 		"Ablation — spike-phase jitter vs periodicity detection (2 s metering)",
 		"PhaseJitter", "PeriodicFlags", "AmplitudeRate")
-	for _, jitter := range []float64{0, 0.25, 0.5} {
-		rec, spikes, baseline, err := jitterRun(p, jitter, horizon)
-		if err != nil {
-			return nil, err
-		}
+	jitters := []float64{0, 0.25, 0.5}
+	type jitterTrace struct {
+		rec      *sim.Recording
+		spikes   []time.Duration
+		baseline units.Watts
+	}
+	var jobs []runner.Job[jitterTrace]
+	for _, jitter := range jitters {
+		key := fmt.Sprintf("ablation/jitter/j=%g", jitter)
+		jobs = append(jobs, runner.Job[jitterTrace]{
+			Key: key,
+			Run: func() (jitterTrace, error) {
+				rec, spikes, baseline, err := jitterRun(p, key, jitter, horizon)
+				if err != nil {
+					return jitterTrace{}, err
+				}
+				return jitterTrace{rec: rec, spikes: spikes, baseline: baseline}, nil
+			},
+		})
+	}
+	traces, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, jitter := range jitters {
+		rec, spikes, baseline := traces[i].rec, traces[i].spikes, traces[i].baseline
 		const interval = 2 * time.Second
 		meter, err := metering.NewMeter(interval, 10, p.seed())
 		if err != nil {
@@ -363,7 +474,7 @@ func AblationJitter(p Params) (*AblationResult, error) {
 
 // jitterRun simulates a stealthy low-amplitude spike train with the given
 // phase jitter and returns the recorded rack draw.
-func jitterRun(p Params, jitter float64, horizon time.Duration) (*sim.Recording, []time.Duration, units.Watts, error) {
+func jitterRun(p Params, key string, jitter float64, horizon time.Duration) (*sim.Recording, []time.Duration, units.Watts, error) {
 	const racks, spr = 1, 10
 	bg := flatNoisyBackground(racks*spr, 0.50, horizon, p.seed()+71)
 	atk := attackSpec(4, virus.Config{
@@ -378,6 +489,7 @@ func jitterRun(p Params, jitter float64, horizon time.Duration) (*sim.Recording,
 		Seed:            p.seed(),
 	})
 	cfg := sim.Config{
+		Key:            key,
 		Racks:          racks,
 		ServersPerRack: spr,
 		Tick:           100 * time.Millisecond,
@@ -398,7 +510,8 @@ func jitterRun(p Params, jitter float64, horizon time.Duration) (*sim.Recording,
 
 // AblationEconomics prices the paper-scale PAD deployment (§6-D): the
 // μDEB hardware against the oversubscription savings it makes safe to
-// keep and the outage minutes it avoids.
+// keep and the outage minutes it avoids. Closed-form arithmetic — no
+// simulation runs, so it does not go through the runner pool.
 func AblationEconomics(Params) (*AblationResult, error) {
 	out := &AblationResult{}
 	tbl := report.NewTable(
@@ -427,7 +540,9 @@ func AblationEconomics(Params) (*AblationResult, error) {
 }
 
 // AblationTopology tabulates the §2 efficiency rationale: the conversion
-// loss each deployment option pays to serve 1 MW of load.
+// loss each deployment option pays to serve 1 MW of load. Closed-form
+// arithmetic — no simulation runs, so it does not go through the runner
+// pool.
 func AblationTopology(Params) (*AblationResult, error) {
 	out := &AblationResult{}
 	tbl := report.NewTable(

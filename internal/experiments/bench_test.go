@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchSweep is a multi-figure sweep: the attack-effectiveness sweep
+// (Fig8A: 5 node counts × 2 oversubscription ratios) plus the
+// throughput-vs-width sweep (Fig16B: 6 schemes × 3 widths), 28 runs in
+// all — enough independent jobs to keep a pool busy.
+func benchSweep(b *testing.B, workers int) {
+	p := Params{Quick: true, Workers: workers}
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig8A(p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Fig16B(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSequential is the legacy one-goroutine path.
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel fans the same sweep across GOMAXPROCS workers.
+// Comparing the two ns/op shows the runner's speedup; on an N-core
+// machine it approaches min(N, jobs-per-figure)× for the dominant
+// figure. The outputs are byte-identical either way (see
+// TestWorkerCountCSVIdentity).
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, runtime.GOMAXPROCS(0)) }

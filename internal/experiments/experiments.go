@@ -4,6 +4,15 @@
 // experiment is a function of Params that returns rendered report
 // artifacts along with the raw numbers, so cmd/experiments, the test
 // suite and the benchmark harness all share one implementation.
+//
+// Every experiment executes its independent simulation runs through
+// internal/runner: the sweep is expressed as a slice of keyed jobs,
+// the runner fans them across Params.Workers goroutines, and the
+// tables are assembled afterwards in job order — so the rendered
+// output is byte-identical at any worker count. Shared inputs (the
+// background utilization series) are built once before the fan-out
+// and are read-only from then on; everything mutable (schemes, attack
+// controllers, battery stores) is created inside each job.
 package experiments
 
 import (
@@ -11,6 +20,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -26,6 +36,18 @@ type Params struct {
 	// Quick shrinks cluster sizes and horizons so the whole suite runs in
 	// seconds; shapes are preserved, absolute numbers move.
 	Quick bool
+	// Workers bounds how many simulation runs execute concurrently
+	// within an experiment. 0 selects runtime.GOMAXPROCS(0); 1 keeps
+	// the sequential path. Results are independent of the value: output
+	// at -workers 8 is byte-identical to -workers 1.
+	Workers int
+	// Progress, when non-nil, receives one update per finished run.
+	Progress func(runner.Progress)
+}
+
+// pool builds the worker pool every experiment drives its runs through.
+func (p Params) pool() runner.Pool {
+	return runner.Pool{Workers: p.Workers, OnProgress: p.Progress}
 }
 
 func (p Params) seed() uint64 {

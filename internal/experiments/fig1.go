@@ -3,6 +3,8 @@ package experiments
 import (
 	"repro/internal/cost"
 	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/stats"
 )
 
 // Fig1Result holds the outage-cost CDF (a bonus reproduction: Figure 1 is
@@ -18,7 +20,16 @@ type Fig1Result struct {
 // from the heavy-tailed outage cost model.
 func Fig1(p Params) (*Fig1Result, error) {
 	n := scaleInt(p, 20000, 2000)
-	cdf := cost.OutageModel{}.SampleCDF(n, p.seed())
+	cdfs, err := runner.Collect(p.pool(), []runner.Job[*stats.CDF]{{
+		Key: "fig1/outage-cost-cdf",
+		Run: func() (*stats.CDF, error) {
+			return cost.OutageModel{}.SampleCDF(n, p.seed()), nil
+		},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	cdf := cdfs[0]
 	out := &Fig1Result{}
 	tbl := report.NewTable(
 		"Figure 1 — CDF of power failure cost (USD per sq. meter per minute)",

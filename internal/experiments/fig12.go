@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/virus"
 )
@@ -21,8 +22,20 @@ type Fig12Result struct {
 func Fig12(p Params) (*Fig12Result, error) {
 	dur := scaleDur(p, 4*time.Minute, time.Minute)
 	const step = 100 * time.Millisecond
-	dense := virus.DenseAttack.UtilizationTrace(virus.CPUIntensive, dur, step, p.seed())
-	sparse := virus.SparseAttack.UtilizationTrace(virus.CPUIntensive, dur, step, p.seed())
+	job := func(scen virus.Scenario) runner.Job[*stats.Series] {
+		return runner.Job[*stats.Series]{
+			Key: "fig12/" + scen.Name,
+			Run: func() (*stats.Series, error) {
+				return scen.UtilizationTrace(virus.CPUIntensive, dur, step, p.seed()), nil
+			},
+		}
+	}
+	traces, err := runner.Collect(p.pool(),
+		[]runner.Job[*stats.Series]{job(virus.DenseAttack), job(virus.SparseAttack)})
+	if err != nil {
+		return nil, err
+	}
+	dense, sparse := traces[0], traces[1]
 
 	tbl := report.NewTable(
 		"Figure 12 — collected attack traces (% of peak utilization)",

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -37,30 +38,36 @@ func Fig13(p Params) (*Fig13Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(s sim.Scheme) (*sim.Recording, error) {
-		cfg := sim.Config{
-			Racks:          racks,
-			ServersPerRack: spr,
-			Tick:           tick,
-			Duration:       horizon,
-			Background:     bg,
-			Record:         true,
-			DisableTrips:   true,
+	job := func(key string, mk func() sim.Scheme) runner.Job[*sim.Recording] {
+		return runner.Job[*sim.Recording]{
+			Key: key,
+			Run: func() (*sim.Recording, error) {
+				cfg := sim.Config{
+					Key:            key,
+					Racks:          racks,
+					ServersPerRack: spr,
+					Tick:           tick,
+					Duration:       horizon,
+					Background:     bg,
+					Record:         true,
+					DisableTrips:   true,
+				}
+				res, err := sim.Run(cfg, mk())
+				if err != nil {
+					return nil, err
+				}
+				return res.Recording, nil
+			},
 		}
-		res, err := sim.Run(cfg, s)
-		if err != nil {
-			return nil, err
-		}
-		return res.Recording, nil
 	}
-	convRec, err := run(schemes.NewPS(schemes.Options{Offline: true}))
+	recs, err := runner.Collect(p.pool(), []runner.Job[*sim.Recording]{
+		job("fig13/conventional", func() sim.Scheme { return schemes.NewPS(schemes.Options{Offline: true}) }),
+		job("fig13/pad", func() sim.Scheme { return schemes.NewPAD(schemes.Options{}) }),
+	})
 	if err != nil {
 		return nil, err
 	}
-	padRec, err := run(schemes.NewPAD(schemes.Options{}))
-	if err != nil {
-		return nil, err
-	}
+	convRec, padRec := recs[0], recs[1]
 
 	out := &Fig13Result{Step: tick}
 	out.ConvMap, out.ConvSpread, out.ConvMinSOC = socMap("Figure 13 — conventional DEB map (racks × time)", convRec)
@@ -121,31 +128,37 @@ func Fig14(p Params) (*Fig14Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(s sim.Scheme) (*sim.Recording, error) {
-		cfg := sim.Config{
-			Racks:           racks,
-			ServersPerRack:  spr,
-			Tick:            tick,
-			Duration:        horizon,
-			Background:      bg,
-			Record:          true,
-			DisableTrips:    true,
-			MicroDEBFactory: microFactory(defaultMicroFraction),
+	job := func(key string, mk func() sim.Scheme) runner.Job[*sim.Recording] {
+		return runner.Job[*sim.Recording]{
+			Key: key,
+			Run: func() (*sim.Recording, error) {
+				cfg := sim.Config{
+					Key:             key,
+					Racks:           racks,
+					ServersPerRack:  spr,
+					Tick:            tick,
+					Duration:        horizon,
+					Background:      bg,
+					Record:          true,
+					DisableTrips:    true,
+					MicroDEBFactory: microFactory(defaultMicroFraction),
+				}
+				res, err := sim.Run(cfg, mk())
+				if err != nil {
+					return nil, err
+				}
+				return res.Recording, nil
+			},
 		}
-		res, err := sim.Run(cfg, s)
-		if err != nil {
-			return nil, err
-		}
-		return res.Recording, nil
 	}
-	before, err := run(schemes.NewPS(schemes.Options{Offline: true}))
+	recs, err := runner.Collect(p.pool(), []runner.Job[*sim.Recording]{
+		job("fig14/before", func() sim.Scheme { return schemes.NewPS(schemes.Options{Offline: true}) }),
+		job("fig14/after", func() sim.Scheme { return schemes.NewPAD(schemes.Options{}) }),
+	})
 	if err != nil {
 		return nil, err
 	}
-	after, err := run(schemes.NewPAD(schemes.Options{}))
-	if err != nil {
-		return nil, err
-	}
+	before, after := recs[0], recs[1]
 
 	out := &Fig14Result{Step: tick, ShedRatio: after.ShedRatio}
 	var beforeSpread, afterSpread float64

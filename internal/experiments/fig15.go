@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/virus"
@@ -56,6 +58,49 @@ func Fig15(p Params) (*Fig15Result, error) {
 		"Scheme", "Dense/CPU", "Sparse/CPU", "Dense/Mem", "Sparse/Mem",
 		"Dense/IO", "Sparse/IO", "Avg")
 
+	// One job per scheme × profile × scenario cell; the background is
+	// shared read-only, everything mutable lives inside the job.
+	var jobs []runner.Job[*sim.Result]
+	for _, name := range SchemeNames() {
+		for _, prof := range virus.Profiles() {
+			for _, scen := range virus.Scenarios() {
+				key := fmt.Sprintf("fig15/%s/%s/%s", name, scen.Name, prof.Name)
+				jobs = append(jobs, runner.Job[*sim.Result]{
+					Key: key,
+					Run: func() (*sim.Result, error) {
+						cfg := sim.Config{
+							Key:                key,
+							Racks:              racks,
+							ServersPerRack:     spr,
+							Tick:               tick,
+							Duration:           horizon,
+							OvershootTolerance: 0.04,
+							Background:         bg,
+							StopOnTrip:         true,
+						}
+						vc := scen.Configure(prof, p.seed())
+						// Three minutes of reconnaissance before the drain
+						// begins: survival is measured from the beginning of
+						// the attack, which includes the attacker blending in
+						// (§3.1).
+						vc.PrepDuration = 3 * time.Minute
+						vc.MaxPhaseI = 3 * time.Minute
+						cfg.Attack = attackSpec(4, vc)
+						if needsMicro(name) {
+							cfg.MicroDEBFactory = microFactory(defaultMicroFraction)
+						}
+						return sim.Run(cfg, schemeByName(name, schemes.Options{}))
+					},
+				})
+			}
+		}
+	}
+	results, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	k := 0
 	for _, name := range SchemeNames() {
 		var row []interface{}
 		row = append(row, name)
@@ -63,29 +108,8 @@ func Fig15(p Params) (*Fig15Result, error) {
 		cells := 0
 		for _, prof := range virus.Profiles() {
 			for _, scen := range virus.Scenarios() {
-				cfg := sim.Config{
-					Racks:              racks,
-					ServersPerRack:     spr,
-					Tick:               tick,
-					Duration:           horizon,
-					OvershootTolerance: 0.04,
-					Background:         bg,
-					StopOnTrip:         true,
-				}
-				vc := scen.Configure(prof, p.seed())
-				// Three minutes of reconnaissance before the drain begins:
-				// survival is measured from the beginning of the attack,
-				// which includes the attacker blending in (§3.1).
-				vc.PrepDuration = 3 * time.Minute
-				vc.MaxPhaseI = 3 * time.Minute
-				cfg.Attack = attackSpec(4, vc)
-				if needsMicro(name) {
-					cfg.MicroDEBFactory = microFactory(defaultMicroFraction)
-				}
-				res, err := sim.Run(cfg, schemeByName(name, schemes.Options{}))
-				if err != nil {
-					return nil, err
-				}
+				res := results[k]
+				k++
 				out.Cells = append(out.Cells, Fig15Cell{
 					Scheme: name, Scenario: scen.Name, Profile: prof.Name,
 					Survival: res.SurvivalTime, Tripped: res.Tripped,

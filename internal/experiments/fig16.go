@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/virus"
@@ -31,7 +32,7 @@ func fig16Schemes() []string { return []string{"PS", "PSPC", "Conv", "PAD"} }
 // fig16Run measures cluster throughput over an attack window, normalized
 // against the same cluster with no attack. Breakers stay live: outage is
 // exactly the throughput cost the conventional designs pay.
-func fig16Run(p Params, name string, width time.Duration, perMinute float64) (float64, error) {
+func fig16Run(p Params, key, name string, width time.Duration, perMinute float64) (float64, error) {
 	racks := scaleInt(p, 12, 6)
 	const spr = 10
 	horizon := scaleDur(p, 30*time.Minute, 8*time.Minute)
@@ -44,6 +45,7 @@ func fig16Run(p Params, name string, width time.Duration, perMinute float64) (fl
 	// throughput cost of each design's failures scales with how often the
 	// attack defeats it.
 	base := sim.Config{
+		Key:            key,
 		Racks:          racks,
 		ServersPerRack: spr,
 		Tick:           tick,
@@ -90,13 +92,28 @@ func Fig16A(p Params) (*Fig16Result, error) {
 		"Figure 16A — normalized throughput vs attack rate",
 		"Scheme", "AttackRate", "Throughput")
 	out := &Fig16Result{}
+	var jobs []runner.Job[float64]
 	for _, name := range fig16Schemes() {
 		for _, rate := range rates {
-			perMinute := rate * 60 / width.Seconds()
-			thpt, err := fig16Run(p, name, width, perMinute)
-			if err != nil {
-				return nil, err
-			}
+			key := fmt.Sprintf("fig16a/%s/rate=%.2f", name, rate)
+			jobs = append(jobs, runner.Job[float64]{
+				Key: key,
+				Run: func() (float64, error) {
+					perMinute := rate * 60 / width.Seconds()
+					return fig16Run(p, key, name, width, perMinute)
+				},
+			})
+		}
+	}
+	thpts, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, name := range fig16Schemes() {
+		for _, rate := range rates {
+			thpt := thpts[k]
+			k++
 			out.Points = append(out.Points, Fig16Point{name, rate, thpt})
 			tbl.AddRow(name, fmt.Sprintf("%.0f%%", rate*100), thpt)
 		}
@@ -116,12 +133,27 @@ func Fig16B(p Params) (*Fig16Result, error) {
 		"Figure 16B — normalized throughput vs attack width",
 		"Scheme", "Width(s)", "Throughput")
 	out := &Fig16Result{}
+	var jobs []runner.Job[float64]
 	for _, name := range fig16Schemes() {
 		for _, w := range widths {
-			thpt, err := fig16Run(p, name, w, 20)
-			if err != nil {
-				return nil, err
-			}
+			key := fmt.Sprintf("fig16b/%s/width=%v", name, w)
+			jobs = append(jobs, runner.Job[float64]{
+				Key: key,
+				Run: func() (float64, error) {
+					return fig16Run(p, key, name, w, 20)
+				},
+			})
+		}
+	}
+	thpts, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, name := range fig16Schemes() {
+		for _, w := range widths {
+			thpt := thpts[k]
+			k++
 			out.Points = append(out.Points, Fig16Point{name, w.Seconds(), thpt})
 			tbl.AddRow(name, w.Seconds(), thpt)
 		}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/battery"
 	"repro/internal/cost"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -54,39 +56,50 @@ func Fig17(p Params) (*Fig17Result, error) {
 	tbl := report.NewTable(
 		"Figure 17 — μDEB capacity vs cost ratio and survival",
 		"Fraction(%)", "CostRatio(%)", "Survival(s)", "NormalizedSurvival")
+	var jobs []runner.Job[*sim.Result]
 	for _, frac := range fractions {
-		cfg := sim.Config{
-			Racks:              racks,
-			ServersPerRack:     spr,
-			Tick:               100 * time.Millisecond,
-			Duration:           horizon,
-			OvershootTolerance: 0.04,
-			Background:         bg,
-			StopOnTrip:         true,
-			// The pool is already drained: this isolates the μDEB's
-			// emergency-handling contribution.
-			BatteryFactory:  emptyBatteryFactory,
-			MicroDEBFactory: microFactory(frac),
-			// Six compromised hosts firing 2 s spikes: severe enough that
-			// un-shaved spike trains accumulate breaker heat, light enough
-			// that a bank covering a whole spike can recover from rack
-			// headroom before the next one.
-			Attack: attackSpec(6, virus.Config{
-				Profile:         virus.CPUIntensive,
-				PrepDuration:    time.Second,
-				MaxPhaseI:       time.Second,
-				SpikeWidth:      2 * time.Second,
-				SpikesPerMinute: 6,
-				Seed:            p.seed(),
-			}),
-		}
-		// The μDEB-only scheme isolates the bank's contribution: PAD's
-		// capping and shedding fallbacks would mask the capacity effect
-		// this figure is about.
-		res, err := sim.Run(cfg, schemeByName("uDEB", schemes.Options{}))
-		if err != nil {
-			return nil, err
-		}
+		key := fmt.Sprintf("fig17/frac=%g", frac)
+		jobs = append(jobs, runner.Job[*sim.Result]{
+			Key: key,
+			Run: func() (*sim.Result, error) {
+				cfg := sim.Config{
+					Key:                key,
+					Racks:              racks,
+					ServersPerRack:     spr,
+					Tick:               100 * time.Millisecond,
+					Duration:           horizon,
+					OvershootTolerance: 0.04,
+					Background:         bg,
+					StopOnTrip:         true,
+					// The pool is already drained: this isolates the μDEB's
+					// emergency-handling contribution.
+					BatteryFactory:  emptyBatteryFactory,
+					MicroDEBFactory: microFactory(frac),
+					// Six compromised hosts firing 2 s spikes: severe enough
+					// that un-shaved spike trains accumulate breaker heat,
+					// light enough that a bank covering a whole spike can
+					// recover from rack headroom before the next one.
+					Attack: attackSpec(6, virus.Config{
+						Profile:         virus.CPUIntensive,
+						PrepDuration:    time.Second,
+						MaxPhaseI:       time.Second,
+						SpikeWidth:      2 * time.Second,
+						SpikesPerMinute: 6,
+						Seed:            p.seed(),
+					}),
+				}
+				// The μDEB-only scheme isolates the bank's contribution:
+				// PAD's capping and shedding fallbacks would mask the
+				// capacity effect this figure is about.
+				return sim.Run(cfg, schemeByName("uDEB", schemes.Options{}))
+			},
+		})
+	}
+	results, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, frac := range fractions {
 		micro := units.Joules(float64(vdebCap) * frac)
 		ratio, err := capex.CostRatio(micro, vdebCap)
 		if err != nil {
@@ -95,7 +108,7 @@ func Fig17(p Params) (*Fig17Result, error) {
 		out.Points = append(out.Points, Fig17Point{
 			Fraction:  frac,
 			CostRatio: ratio * 100,
-			Survival:  res.SurvivalTime,
+			Survival:  results[i].SurvivalTime,
 		})
 	}
 	base := out.Points[0].Survival

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -36,39 +38,44 @@ func Fig5(p Params) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(offline bool) (*stats.Series, error) {
-		cfg := sim.Config{
-			Racks:          racks,
-			ServersPerRack: spr,
-			// Gentler oversubscription: only diurnal peaks discharge, so
-			// batteries cycle rather than bottom out fleet-wide.
-			OversubscriptionRatio: 0.84,
-			Tick:                  tick,
-			Duration:              horizon,
-			Background:            bg,
-			Record:                true,
-			RecordStep:            tick,
-			DisableTrips:          true,
+	job := func(offline bool) runner.Job[*stats.Series] {
+		return runner.Job[*stats.Series]{
+			Key: fmt.Sprintf("fig5/offline=%v", offline),
+			Run: func() (*stats.Series, error) {
+				cfg := sim.Config{
+					Key:            fmt.Sprintf("fig5/offline=%v", offline),
+					Racks:          racks,
+					ServersPerRack: spr,
+					// Gentler oversubscription: only diurnal peaks discharge,
+					// so batteries cycle rather than bottom out fleet-wide.
+					OversubscriptionRatio: 0.84,
+					Tick:                  tick,
+					Duration:              horizon,
+					Background:            bg,
+					Record:                true,
+					RecordStep:            tick,
+					DisableTrips:          true,
+				}
+				res, err := sim.Run(cfg, schemes.NewPS(schemes.Options{
+					Offline: offline,
+					// A deep recharge trigger: racks that only dip part-way
+					// stay part-charged, which is what makes offline charging
+					// uneven.
+					OfflineThreshold: 0.15,
+				}))
+				if err != nil {
+					return nil, err
+				}
+				return socSpreadSeries(res.Recording), nil
+			},
 		}
-		res, err := sim.Run(cfg, schemes.NewPS(schemes.Options{
-			Offline: offline,
-			// A deep recharge trigger: racks that only dip part-way stay
-			// part-charged, which is what makes offline charging uneven.
-			OfflineThreshold: 0.15,
-		}))
-		if err != nil {
-			return nil, err
-		}
-		return socSpreadSeries(res.Recording), nil
 	}
-	online, err := run(false)
+	series, err := runner.Collect(p.pool(),
+		[]runner.Job[*stats.Series]{job(false), job(true)})
 	if err != nil {
 		return nil, err
 	}
-	offline, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	online, offline := series[0], series[1]
 
 	tbl := report.NewTable(
 		"Figure 5 — stddev of rack battery SOC (%) over time, online vs offline charging",

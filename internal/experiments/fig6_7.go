@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -32,33 +33,52 @@ func Fig6(p Params) (*Fig6Result, error) {
 	horizon := scaleDur(p, 5*time.Minute, 2*time.Minute)
 	bg := flatNoisyBackground(racks*spr, 0.35, horizon, p.seed())
 
-	atk := attackSpec(4, virus.Config{
-		Profile:         virus.CPUIntensive,
-		PrepDuration:    10 * time.Second,
-		MaxPhaseI:       horizon / 2,
-		SpikeWidth:      2 * time.Second,
-		SpikesPerMinute: 6,
-		Seed:            p.seed(),
-	})
-	// A small battery so the drain completes inside the window: a tenth
-	// of the standard cabinet.
-	cfg := sim.Config{
-		Racks:          racks,
-		ServersPerRack: spr,
-		Tick:           100 * time.Millisecond,
-		Duration:       horizon,
-		Background:     bg,
-		Attack:         atk,
-		Record:         true,
-		RecordStep:     time.Second,
-		DisableTrips:   true,
-		BatteryFactory: smallCabinet,
+	type fig6Run struct {
+		rec        *sim.Recording
+		spikeTimes []time.Duration
+		learned    time.Duration
 	}
-	res, err := sim.Run(cfg, schemes.NewPSPC(schemes.Options{}))
+	runs, err := runner.Collect(p.pool(), []runner.Job[fig6Run]{{
+		Key: "fig6/two-phase-demo",
+		Run: func() (fig6Run, error) {
+			atk := attackSpec(4, virus.Config{
+				Profile:         virus.CPUIntensive,
+				PrepDuration:    10 * time.Second,
+				MaxPhaseI:       horizon / 2,
+				SpikeWidth:      2 * time.Second,
+				SpikesPerMinute: 6,
+				Seed:            p.seed(),
+			})
+			// A small battery so the drain completes inside the window: a
+			// tenth of the standard cabinet.
+			cfg := sim.Config{
+				Key:            "fig6/two-phase-demo",
+				Racks:          racks,
+				ServersPerRack: spr,
+				Tick:           100 * time.Millisecond,
+				Duration:       horizon,
+				Background:     bg,
+				Attack:         atk,
+				Record:         true,
+				RecordStep:     time.Second,
+				DisableTrips:   true,
+				BatteryFactory: smallCabinet,
+			}
+			res, err := sim.Run(cfg, schemes.NewPSPC(schemes.Options{}))
+			if err != nil {
+				return fig6Run{}, err
+			}
+			return fig6Run{
+				rec:        res.Recording,
+				spikeTimes: atk.Attack.SpikeTimes(),
+				learned:    atk.Attack.LearnedDrainTime(),
+			}, nil
+		},
+	}})
 	if err != nil {
 		return nil, err
 	}
-	rec := res.Recording
+	rec := runs[0].rec
 
 	normal := stats.NewSeries(rec.Step)
 	for i := 0; i < rec.TotalGrid.Len(); i++ {
@@ -79,10 +99,10 @@ func Fig6(p Params) (*Fig6Result, error) {
 		NormalLoad:    normal,
 		MaliciousLoad: malicious,
 		SOC:           soc,
-		LearnedDrain:  atk.Attack.LearnedDrainTime(),
+		LearnedDrain:  runs[0].learned,
 	}
 	// Locate the Phase II transition: the first spike launch.
-	if ts := atk.Attack.SpikeTimes(); len(ts) > 0 {
+	if ts := runs[0].spikeTimes; len(ts) > 0 {
 		out.PhaseIIStart = ts[0]
 	}
 	tbl := report.NewTable(
@@ -129,30 +149,37 @@ func Fig7(p Params) (*Fig7Result, error) {
 	horizon := scaleDur(p, 70*time.Second, 40*time.Second)
 	bg := flatNoisyBackground(racks*spr, 0.55, horizon, p.seed()+3)
 
-	atk := attackSpec(4, virus.Config{
-		Profile:         virus.CPUIntensive,
-		PrepDuration:    time.Second,
-		MaxPhaseI:       time.Second,
-		SpikeWidth:      2 * time.Second,
-		SpikesPerMinute: 6,
-		Seed:            p.seed(),
-	})
-	cfg := sim.Config{
-		Racks:          racks,
-		ServersPerRack: spr,
-		Tick:           100 * time.Millisecond,
-		Duration:       horizon,
-		Background:     bg,
-		Attack:         atk,
-		Record:         true,
-		RecordStep:     500 * time.Millisecond,
-		DisableTrips:   true,
-		BatteryFactory: emptyBatteryFactory,
-	}
-	res, err := sim.Run(cfg, schemes.NewConv(schemes.Options{}))
+	runs, err := runner.Collect(p.pool(), []runner.Job[*sim.Result]{{
+		Key: "fig7/effective-attack-demo",
+		Run: func() (*sim.Result, error) {
+			atk := attackSpec(4, virus.Config{
+				Profile:         virus.CPUIntensive,
+				PrepDuration:    time.Second,
+				MaxPhaseI:       time.Second,
+				SpikeWidth:      2 * time.Second,
+				SpikesPerMinute: 6,
+				Seed:            p.seed(),
+			})
+			cfg := sim.Config{
+				Key:            "fig7/effective-attack-demo",
+				Racks:          racks,
+				ServersPerRack: spr,
+				Tick:           100 * time.Millisecond,
+				Duration:       horizon,
+				Background:     bg,
+				Attack:         atk,
+				Record:         true,
+				RecordStep:     500 * time.Millisecond,
+				DisableTrips:   true,
+				BatteryFactory: emptyBatteryFactory,
+			}
+			return sim.Run(cfg, schemes.NewConv(schemes.Options{}))
+		},
+	}})
 	if err != nil {
 		return nil, err
 	}
+	res := runs[0]
 	nameplate := 521.0 * spr
 	budget := units.Watts(0.75 * nameplate)
 	limit := budget * 1.08

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/virus"
@@ -31,13 +32,14 @@ type Fig8Result struct {
 
 // countEffectiveAttacks runs the Phase-II spike train against a drained
 // single-rack cluster and counts overload events over the window.
-func countEffectiveAttacks(p Params, profile virus.Profile, nodes int,
+func countEffectiveAttacks(p Params, key string, profile virus.Profile, nodes int,
 	width time.Duration, perMinute float64, overshoot, ratio, bgMean float64) (int, error) {
 	horizon := scaleDur(p, 15*time.Minute, 3*time.Minute)
 	const racks, spr = 1, 10
 	bg := fineNoisyBackground(racks*spr, bgMean,
 		horizon, p.seed()+uint64(nodes)*17+uint64(width/time.Millisecond))
 	cfg := sim.Config{
+		Key:                   key,
 		Racks:                 racks,
 		ServersPerRack:        spr,
 		Tick:                  100 * time.Millisecond,
@@ -70,14 +72,31 @@ func Fig8A(p Params) (*Fig8Result, error) {
 	tbl := report.NewTable(
 		"Figure 8A — effective attacks (15 min) vs malicious nodes",
 		"Profile", "Nodes", "Overshoot", "EffectiveAttacks")
-	var points []Fig8Point
+	var jobs []runner.Job[int]
 	for _, prof := range virus.Profiles() {
 		for nodes := 1; nodes <= 4; nodes++ {
 			for _, os := range overshoots {
-				n, err := countEffectiveAttacks(p, prof, nodes, time.Second, 4, os, 0, 0.45)
-				if err != nil {
-					return nil, err
-				}
+				key := fmt.Sprintf("fig8a/%s/nodes=%d/os=%.2f", prof.Name, nodes, os)
+				jobs = append(jobs, runner.Job[int]{
+					Key: key,
+					Run: func() (int, error) {
+						return countEffectiveAttacks(p, key, prof, nodes, time.Second, 4, os, 0, 0.45)
+					},
+				})
+			}
+		}
+	}
+	counts, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	var points []Fig8Point
+	k := 0
+	for _, prof := range virus.Profiles() {
+		for nodes := 1; nodes <= 4; nodes++ {
+			for _, os := range overshoots {
+				n := counts[k]
+				k++
 				points = append(points, Fig8Point{prof.Name, float64(nodes), os, n})
 				tbl.AddRow(prof.Name, nodes, fmt.Sprintf("%.0f%%", os*100), n)
 			}
@@ -94,14 +113,31 @@ func Fig8B(p Params) (*Fig8Result, error) {
 	tbl := report.NewTable(
 		"Figure 8B — effective attacks (15 min) vs spike width (2 nodes)",
 		"Profile", "Width(s)", "Overshoot", "EffectiveAttacks")
-	var points []Fig8Point
+	var jobs []runner.Job[int]
 	for _, prof := range virus.Profiles() {
 		for _, w := range widths {
 			for _, os := range overshoots {
-				n, err := countEffectiveAttacks(p, prof, 2, w, 4, os, 0, 0.45)
-				if err != nil {
-					return nil, err
-				}
+				key := fmt.Sprintf("fig8b/%s/width=%v/os=%.2f", prof.Name, w, os)
+				jobs = append(jobs, runner.Job[int]{
+					Key: key,
+					Run: func() (int, error) {
+						return countEffectiveAttacks(p, key, prof, 2, w, 4, os, 0, 0.45)
+					},
+				})
+			}
+		}
+	}
+	counts, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	var points []Fig8Point
+	k := 0
+	for _, prof := range virus.Profiles() {
+		for _, w := range widths {
+			for _, os := range overshoots {
+				n := counts[k]
+				k++
 				points = append(points, Fig8Point{prof.Name, w.Seconds(), os, n})
 				tbl.AddRow(prof.Name, w.Seconds(), fmt.Sprintf("%.0f%%", os*100), n)
 			}
@@ -121,14 +157,31 @@ func Fig8C(p Params) (*Fig8Result, error) {
 	tbl := report.NewTable(
 		"Figure 8C — effective attacks (15 min) vs spike frequency (1 s spikes)",
 		"Profile", "PerMinute", "Nameplate%", "EffectiveAttacks")
-	var points []Fig8Point
+	var jobs []runner.Job[int]
 	for _, prof := range virus.Profiles() {
 		for _, f := range freqs {
 			for _, r := range ratios {
-				n, err := countEffectiveAttacks(p, prof, 3, time.Second, f, 0.08, r, 0.40)
-				if err != nil {
-					return nil, err
-				}
+				key := fmt.Sprintf("fig8c/%s/freq=%g/ratio=%.2f", prof.Name, f, r)
+				jobs = append(jobs, runner.Job[int]{
+					Key: key,
+					Run: func() (int, error) {
+						return countEffectiveAttacks(p, key, prof, 3, time.Second, f, 0.08, r, 0.40)
+					},
+				})
+			}
+		}
+	}
+	counts, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	var points []Fig8Point
+	k := 0
+	for _, prof := range virus.Profiles() {
+		for _, f := range freqs {
+			for _, r := range ratios {
+				n := counts[k]
+				k++
 				points = append(points, Fig8Point{prof.Name, f, r, n})
 				tbl.AddRow(prof.Name, f, fmt.Sprintf("%.0f%%", r*100), n)
 			}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metering"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -65,22 +66,50 @@ func Table1(p Params) (*Table1Result, error) {
 	}{
 		{"1", 1, 1}, {"4/full", 4, 1}, {"4/split", 4, 0.25},
 	}
+	// One simulation per attack shape runs in the pool; the seven-meter
+	// offline replay of each recording is cheap and stays sequential.
+	type shapeRun struct {
+		rec      *sim.Recording
+		spikes   []time.Duration
+		baseline units.Watts
+	}
+	var jobs []runner.Job[shapeRun]
 	for _, setup := range setups {
 		for _, width := range []time.Duration{time.Second, 4 * time.Second} {
 			for _, perMin := range []float64{1, 6} {
-				rec, spikes, baseline, err := table1Run(p, setup.servers, setup.scale, width, perMin, horizon)
-				if err != nil {
-					return nil, err
-				}
+				key := fmt.Sprintf("table1/%s/width=%v/perMin=%g", setup.label, width, perMin)
+				jobs = append(jobs, runner.Job[shapeRun]{
+					Key: key,
+					Run: func() (shapeRun, error) {
+						rec, spikes, baseline, err := table1Run(p, key, setup.servers, setup.scale, width, perMin, horizon)
+						if err != nil {
+							return shapeRun{}, err
+						}
+						return shapeRun{rec: rec, spikes: spikes, baseline: baseline}, nil
+					},
+				})
+			}
+		}
+	}
+	shapes, err := runner.Collect(p.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, setup := range setups {
+		for _, width := range []time.Duration{time.Second, 4 * time.Second} {
+			for _, perMin := range []float64{1, 6} {
+				run := shapes[k]
+				k++
 				for _, iv := range intervals {
-					rate := meterAndDetect(rec, spikes, baseline, iv, p.seed())
+					rate := meterAndDetect(run.rec, run.spikes, run.baseline, iv, p.seed())
 					out.Cells = append(out.Cells, Table1Cell{
 						Interval: iv, Servers: setup.servers, Scale: setup.scale,
 						Width: width, PerMinute: perMin, DetectionRate: rate,
-						SpikesLaunched: len(spikes),
+						SpikesLaunched: len(run.spikes),
 					})
 					tbl.AddRow(iv.String(), setup.label, width.String(), perMin,
-						len(spikes), fmt.Sprintf("%.1f%%", rate*100))
+						len(run.spikes), fmt.Sprintf("%.1f%%", rate*100))
 				}
 			}
 		}
@@ -92,7 +121,7 @@ func Table1(p Params) (*Table1Result, error) {
 // table1Run simulates one attack shape and returns the recorded rack draw
 // at tick resolution, the spike launch offsets, and the pre-attack mean
 // rack power to seed the detector baseline.
-func table1Run(p Params, servers int, scale float64, width time.Duration, perMin float64,
+func table1Run(p Params, key string, servers int, scale float64, width time.Duration, perMin float64,
 	horizon time.Duration) (*sim.Recording, []time.Duration, units.Watts, error) {
 	const racks, spr = 1, 10
 	bg := flatNoisyBackground(racks*spr, 0.50, horizon, p.seed()+5)
@@ -107,6 +136,7 @@ func table1Run(p Params, servers int, scale float64, width time.Duration, perMin
 		Seed:            p.seed(),
 	})
 	cfg := sim.Config{
+		Key:            key,
 		Racks:          racks,
 		ServersPerRack: spr,
 		Tick:           100 * time.Millisecond,

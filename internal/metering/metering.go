@@ -4,6 +4,11 @@
 // detector that flags intervals whose average power stands out from the
 // tracked baseline. The attacker's hidden spikes live or die by what
 // these instruments can resolve.
+//
+// Concurrency: meters and detectors accumulate interval state and are not
+// safe for concurrent use; create one per replay. The offline replays in
+// internal/experiments run after the parallel sweep has collected its
+// recordings, on the collecting goroutine.
 package metering
 
 import (

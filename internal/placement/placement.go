@@ -8,6 +8,11 @@
 // tenant churn, and an attacker campaign that measures how many probe
 // VMs (and how much money) it takes to assemble an attack squad on one
 // rack.
+//
+// Concurrency: a Cluster is mutable and single-goroutine, but RunCampaign
+// builds its whole world (cluster, tenants, RNG) from its config, so
+// independent campaigns may run concurrently — the sweep runner exploits
+// this in the placement ablation.
 package placement
 
 import (

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-file tests pin the exact bytes of every rendering path. The
+// figure CSVs are the repo's deliverable, and the determinism suite
+// compares them byte-for-byte across worker counts, so the renderers'
+// output format is load-bearing. Regenerate after an intentional format
+// change with:
+//
+//	go test ./internal/report -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenTable exercises alignment (mixed cell widths), float formatting
+// (%.3g) and CSV quoting (comma, quote and newline in cells).
+func goldenTable() *Table {
+	tbl := NewTable("Golden — survival summary", "Scheme", "Survival(s)", "Throughput", "Note")
+	tbl.AddRow("Conv", 12.25, 0.98765, "tripped")
+	tbl.AddRow("PS", 1234.5, 1.0, "no trip, ran out of horizon")
+	tbl.AddRow("PAD", 0.001, float32(0.25), `says "ok", then
+continues`)
+	return tbl
+}
+
+// goldenHeatmap covers the full shade ramp plus out-of-range clamping.
+func goldenHeatmap() *Heatmap {
+	return &Heatmap{
+		Title: "Golden — SOC map",
+		Values: [][]float64{
+			{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1},
+			{-0.5, 1.5, 0.55, 0.45, 0.0001, 0.9999, 0.25, 0.75, 0.33, 0.66, 0.5},
+		},
+		Lo: 0, Hi: 1,
+	}
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+func render(t *testing.T, f func(io.Writer) error) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenTableRender(t *testing.T) {
+	checkGolden(t, "table_render", render(t, goldenTable().Render))
+}
+
+func TestGoldenTableCSV(t *testing.T) {
+	checkGolden(t, "table_csv", render(t, goldenTable().WriteCSV))
+}
+
+func TestGoldenHeatmapRender(t *testing.T) {
+	checkGolden(t, "heatmap_render", render(t, goldenHeatmap().Render))
+}
+
+func TestGoldenHeatmapCSV(t *testing.T) {
+	checkGolden(t, "heatmap_csv", render(t, goldenHeatmap().WriteCSV))
+}

@@ -10,6 +10,12 @@
 //
 // All schemes satisfy sim.Scheme. Charging behaviour (online vs offline,
 // the Figure 5 contrast) is an orthogonal knob in Options.
+//
+// Concurrency: a scheme instance carries per-run controller state
+// (governors, pool controllers, μDEB banks) and is not safe for
+// concurrent use. Construct a fresh scheme for every sim.Run; under the
+// parallel sweep runner that means inside the job closure, never shared
+// across jobs.
 package schemes
 
 import (

@@ -6,6 +6,15 @@
 // DVFS capping, charging and shedding each tick. The engine records
 // survival time, effective-attack counts, throughput and battery maps —
 // the quantities the paper's figures report.
+//
+// Concurrency contract: a single run (one Run call) is strictly
+// single-goroutine — the engine, the scheme, the attack controller and
+// every battery store it steps are confined to the calling goroutine.
+// Independent runs are safe to execute concurrently (internal/runner
+// does exactly that) provided they share no mutable state: each run
+// must get its own Scheme, its own AttackSpec/virus.Attack and its own
+// stores from the factories. Config.Background series are the one
+// sanctioned shared input; the engine only ever reads them.
 package sim
 
 import (
@@ -100,6 +109,10 @@ type AttackSpec struct {
 
 // Config describes one simulation run.
 type Config struct {
+	// Key is an opaque run identifier, echoed on the Result. Sweeps set
+	// it to the run's runner key (e.g. "fig15/PAD/Dense/CPU") so any
+	// single run can be named, reported and reproduced in isolation.
+	Key string
 	// Racks and ServersPerRack shape the cluster. 0 selects the paper's
 	// 22 racks × 10 servers.
 	Racks          int

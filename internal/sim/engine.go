@@ -20,6 +20,8 @@ type LevelReporter interface {
 
 // Result summarizes one simulation run.
 type Result struct {
+	// Key echoes Config.Key, identifying this run within a sweep.
+	Key string
 	// Scheme is the evaluated scheme's name.
 	Scheme string
 	// Tripped reports whether any breaker tripped.
@@ -140,6 +142,7 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 		}
 	}
 	res := &Result{
+		Key:           cfg.Key,
 		Scheme:        scheme.Name(),
 		SurvivalTime:  cfg.Duration,
 		FirstTripRack: -1,

@@ -4,6 +4,11 @@
 //
 // Everything random in the repository flows from stats.RNG seeded
 // explicitly, so every experiment is reproducible bit-for-bit.
+//
+// Concurrency: an RNG is a mutable stream and is not safe for concurrent
+// use. Parallel sweeps never share a stream across runs; each run derives
+// its own seed with DeriveSeed(base, key) (or Split) and owns the
+// resulting RNG exclusively.
 package stats
 
 import "math"
@@ -18,6 +23,29 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
+}
+
+// DeriveSeed maps a base seed and a run key to an independent seed:
+// the key is absorbed with an FNV-1a pass and the result is finalized
+// with a SplitMix64 round, so nearby keys ("fig15/PAD/Dense/CPU" vs
+// "fig15/PAD/Dense/Mem") yield unrelated streams. Sweeps that execute
+// runs concurrently derive each run's seed this way instead of sharing
+// one RNG, which keeps every run reproducible in isolation regardless
+// of scheduling order.
+func DeriveSeed(base uint64, key string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	z := base + 0x9e3779b97f4a7c15*h
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Split derives an independent child stream from the current state and a

@@ -112,10 +112,11 @@ func (c Config) Validate() error {
 	if c.SpikeWidth <= 0 {
 		return fmt.Errorf("virus: spike width must be positive, got %v", c.SpikeWidth)
 	}
-	if c.SpikesPerMinute <= 0 || c.SpikesPerMinute > 60 {
+	// Accept-range (negated) comparisons so NaN fields are rejected.
+	if !(c.SpikesPerMinute > 0 && c.SpikesPerMinute <= 60) {
 		return fmt.Errorf("virus: spikes per minute %v out of (0,60]", c.SpikesPerMinute)
 	}
-	if c.RestFraction < 0 || c.RestFraction > 1 {
+	if !(c.RestFraction >= 0 && c.RestFraction <= 1) {
 		return fmt.Errorf("virus: rest fraction %v out of [0,1]", c.RestFraction)
 	}
 	period := time.Duration(float64(time.Minute) / c.SpikesPerMinute)
@@ -123,10 +124,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("virus: spike width %v leaves no rest at %v/min",
 			c.SpikeWidth, c.SpikesPerMinute)
 	}
-	if c.AmplitudeScale < 0 || c.AmplitudeScale > 1 {
+	if !(c.AmplitudeScale >= 0 && c.AmplitudeScale <= 1) {
 		return fmt.Errorf("virus: amplitude scale %v out of (0,1]", c.AmplitudeScale)
 	}
-	if c.PhaseJitter < 0 || c.PhaseJitter >= 1 {
+	if !(c.PhaseJitter >= 0 && c.PhaseJitter < 1) {
 		return fmt.Errorf("virus: phase jitter %v out of [0,1)", c.PhaseJitter)
 	}
 	return nil

@@ -8,6 +8,11 @@
 // hog (STREAM) and an I/O flood (Apache benchmark) — reduced to the three
 // parameters the downstream experiments actually exercise: how high a
 // spike the virus can form, how fast it ramps, and how noisy its peak is.
+//
+// Concurrency: Profile values are immutable and freely shareable, but an
+// Attack is a stateful closed-loop controller stepped by one simulation
+// run — it is not safe for concurrent use and must not be reused across
+// runs. Build one Attack per sim.Run, inside the runner job that owns it.
 package virus
 
 import (
@@ -80,19 +85,21 @@ func ProfileByName(name string) (Profile, error) {
 	return Profile{}, fmt.Errorf("virus: unknown profile %q", name)
 }
 
-// Validate reports a malformed profile.
+// Validate reports a malformed profile. The comparisons are written in
+// accept-range form (negated) so NaN fields are rejected rather than
+// slipping past both sides of a reject-range check.
 func (p Profile) Validate() error {
-	if p.PeakFraction <= 0 || p.PeakFraction > 1 {
+	if !(p.PeakFraction > 0 && p.PeakFraction <= 1) {
 		return fmt.Errorf("virus: peak fraction %v out of (0,1]", p.PeakFraction)
 	}
-	if p.SustainFraction <= 0 || p.SustainFraction > p.PeakFraction {
+	if !(p.SustainFraction > 0 && p.SustainFraction <= p.PeakFraction) {
 		return fmt.Errorf("virus: sustain fraction %v out of (0, peak=%v]",
 			p.SustainFraction, p.PeakFraction)
 	}
 	if p.RampTime < 0 {
 		return fmt.Errorf("virus: negative ramp time %v", p.RampTime)
 	}
-	if p.Jitter < 0 || p.Jitter >= 1 {
+	if !(p.Jitter >= 0 && p.Jitter < 1) {
 		return fmt.Errorf("virus: jitter %v out of [0,1)", p.Jitter)
 	}
 	return nil
