@@ -27,9 +27,13 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
+
+// prof is package-level so fatal can flush profiles before os.Exit.
+var prof *profiling.Flags
 
 type experiment struct {
 	name string
@@ -45,7 +49,16 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker goroutines (1 = sequential)")
 		progress = flag.Bool("progress", false, "report per-run progress and ETA on stderr")
 	)
+	prof = profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	p := experiments.Params{Quick: *quick, Seed: *seed, Workers: *workers}
 	if *progress {
@@ -87,6 +100,9 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
+	if prof != nil {
+		prof.Stop() // os.Exit skips defers; keep partial profiles usable
+	}
 	os.Exit(1)
 }
 

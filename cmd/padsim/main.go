@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/core"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/schemes"
@@ -26,6 +27,9 @@ import (
 	"repro/internal/units"
 	"repro/internal/virus"
 )
+
+// prof is package-level so fatal can flush profiles before os.Exit.
+var prof *profiling.Flags
 
 func main() {
 	var (
@@ -48,7 +52,16 @@ func main() {
 		chart       = flag.Bool("chart", false, "plot the cluster feed draw and mean battery SOC over the run")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for -compare (1 = sequential)")
 	)
+	prof = profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	cfg := sim.Config{
 		Racks:                 *racks,
@@ -176,6 +189,9 @@ func renderTimeline(rec *sim.Recording) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "padsim:", err)
+	if prof != nil {
+		prof.Stop() // os.Exit skips defers; keep partial profiles usable
+	}
 	os.Exit(1)
 }
 

@@ -26,6 +26,8 @@ import (
 type VDEBController struct {
 	// PIdeal is the per-rack ideal (maximum safe) discharge power.
 	PIdeal units.Watts
+
+	order []int // reusable SOC-sort scratch for AllocateInto
 }
 
 // NewVDEBController creates a controller with the given per-rack
@@ -52,8 +54,21 @@ func NewVDEBController(pIdeal units.Watts) (*VDEBController, error) {
 // decrement by the full Pideal actually assigned, which is the evident
 // intent (total conservation).
 func (c *VDEBController) Allocate(socs []float64, pShave units.Watts) []units.Watts {
+	return c.AllocateInto(make([]units.Watts, len(socs)), socs, pShave)
+}
+
+// AllocateInto is Allocate writing its assignments into out, which must
+// have len(socs) entries; it returns out. The controller reuses an
+// internal sort scratch across calls, so a caller that also reuses out
+// allocates nothing on the periodic refresh path.
+func (c *VDEBController) AllocateInto(out []units.Watts, socs []float64, pShave units.Watts) []units.Watts {
 	n := len(socs)
-	out := make([]units.Watts, n)
+	if len(out) != n {
+		panic("core: AllocateInto out/socs length mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
 	if n == 0 || pShave <= 0 {
 		return out
 	}
@@ -65,7 +80,10 @@ func (c *VDEBController) Allocate(socs []float64, pShave units.Watts) []units.Wa
 		return out
 	}
 	// Sort rack indices by SOC, descending (Algorithm 1 lines 9-10).
-	order := make([]int, n)
+	if cap(c.order) < n {
+		c.order = make([]int, n)
+	}
+	order := c.order[:n]
 	for i := range order {
 		order[i] = i
 	}

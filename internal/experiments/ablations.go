@@ -41,7 +41,7 @@ type AblationResult struct {
 func ablationSurvivalRun(p Params, key string, mk func() sim.Scheme, micro bool, horizon time.Duration) (*sim.Result, error) {
 	racks := scaleInt(p, 12, 6)
 	const spr = 10
-	bg := burstyRampBackground(racks*spr, 0.48, 0.78, horizon, p.seed()+61,
+	bg := cachedBurstyRampBackground(racks*spr, 0.48, 0.78, horizon, p.seed()+61,
 		3*time.Minute, 20*time.Second, 0.15)
 	cfg := sim.Config{
 		Key:                key,
@@ -366,7 +366,7 @@ func AblationGranularity(p Params) (*AblationResult, error) {
 			Run: func() (*sim.Result, error) {
 				racks := scaleInt(p, 12, 6)
 				const spr = 10
-				bg := burstyRampBackground(racks*spr, 0.48, 0.78, horizon, p.seed()+61,
+				bg := cachedBurstyRampBackground(racks*spr, 0.48, 0.78, horizon, p.seed()+61,
 					3*time.Minute, 20*time.Second, 0.15)
 				cfg := sim.Config{
 					Key:                key,
@@ -476,7 +476,7 @@ func AblationJitter(p Params) (*AblationResult, error) {
 // phase jitter and returns the recorded rack draw.
 func jitterRun(p Params, key string, jitter float64, horizon time.Duration) (*sim.Recording, []time.Duration, units.Watts, error) {
 	const racks, spr = 1, 10
-	bg := flatNoisyBackground(racks*spr, 0.50, horizon, p.seed()+71)
+	bg := cachedFlatNoisyBackground(racks*spr, 0.50, horizon, p.seed()+71)
 	atk := attackSpec(4, virus.Config{
 		Profile:         virus.CPUIntensive,
 		PrepDuration:    time.Second,

@@ -10,9 +10,12 @@
 // the runner fans them across Params.Workers goroutines, and the
 // tables are assembled afterwards in job order — so the rendered
 // output is byte-identical at any worker count. Shared inputs (the
-// background utilization series) are built once before the fan-out
-// and are read-only from then on; everything mutable (schemes, attack
-// controllers, battery stores) is created inside each job.
+// background utilization series) come from a process-wide cache keyed
+// by the full generator argument tuple (see bgcache.go): each distinct
+// background is built once — even when jobs request it concurrently —
+// and shared read-only by every run that needs it. Everything mutable
+// (schemes, attack controllers, battery stores) is created inside each
+// job.
 package experiments
 
 import (

@@ -34,7 +34,7 @@ func Fig13(p Params) (*Fig13Result, error) {
 	horizon := scaleDur(p, 24*time.Hour, 6*time.Hour)
 	tick := 5 * time.Minute
 
-	bg, err := traceBackground(racks*spr, horizon, tick, p.seed(), false)
+	bg, err := cachedTraceBackground(racks*spr, horizon, tick, p.seed(), false)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +124,7 @@ func Fig14(p Params) (*Fig14Result, error) {
 	horizon := scaleDur(p, 24*time.Hour, 8*time.Hour)
 	tick := 5 * time.Minute
 
-	bg, err := traceBackground(racks*spr, horizon, tick, p.seed()+11, true)
+	bg, err := cachedTraceBackground(racks*spr, horizon, tick, p.seed()+11, true)
 	if err != nil {
 		return nil, err
 	}

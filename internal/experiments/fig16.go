@@ -37,7 +37,7 @@ func fig16Run(p Params, key, name string, width time.Duration, perMinute float64
 	const spr = 10
 	horizon := scaleDur(p, 30*time.Minute, 8*time.Minute)
 	tick := 200 * time.Millisecond
-	bg := flatNoisyBackground(racks*spr, 0.60, horizon, p.seed()+31)
+	bg := cachedFlatNoisyBackground(racks*spr, 0.60, horizon, p.seed()+31)
 
 	// Batteries start pre-stressed (a tenth the standard cabinet: the
 	// attack window follows a day of heavy shaving duty) and tripped

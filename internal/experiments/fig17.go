@@ -46,7 +46,7 @@ func Fig17(p Params) (*Fig17Result, error) {
 	racks := scaleInt(p, 6, 3)
 	const spr = 10
 	horizon := scaleDur(p, 2*time.Hour, 15*time.Minute)
-	bg := flatNoisyBackground(racks*spr, 0.31, horizon, p.seed()+41)
+	bg := cachedFlatNoisyBackground(racks*spr, 0.31, horizon, p.seed()+41)
 
 	capex := cost.CapexModel{}
 	nameplate := units.Watts(521 * spr)

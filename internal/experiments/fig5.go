@@ -34,7 +34,7 @@ func Fig5(p Params) (*Fig5Result, error) {
 	horizon := scaleDur(p, 14*24*time.Hour, 36*time.Hour)
 	tick := 5 * time.Minute
 
-	bg, err := traceBackground(racks*spr, horizon, tick, p.seed(), false)
+	bg, err := cachedTraceBackground(racks*spr, horizon, tick, p.seed(), false)
 	if err != nil {
 		return nil, err
 	}

@@ -36,7 +36,7 @@ func countEffectiveAttacks(p Params, key string, profile virus.Profile, nodes in
 	width time.Duration, perMinute float64, overshoot, ratio, bgMean float64) (int, error) {
 	horizon := scaleDur(p, 15*time.Minute, 3*time.Minute)
 	const racks, spr = 1, 10
-	bg := fineNoisyBackground(racks*spr, bgMean,
+	bg := cachedFineNoisyBackground(racks*spr, bgMean,
 		horizon, p.seed()+uint64(nodes)*17+uint64(width/time.Millisecond))
 	cfg := sim.Config{
 		Key:                   key,

@@ -124,7 +124,7 @@ func Table1(p Params) (*Table1Result, error) {
 func table1Run(p Params, key string, servers int, scale float64, width time.Duration, perMin float64,
 	horizon time.Duration) (*sim.Recording, []time.Duration, units.Watts, error) {
 	const racks, spr = 1, 10
-	bg := flatNoisyBackground(racks*spr, 0.50, horizon, p.seed()+5)
+	bg := cachedFlatNoisyBackground(racks*spr, 0.50, horizon, p.seed()+5)
 	atk := attackSpec(servers, virus.Config{
 		Profile:         virus.CPUIntensive,
 		PrepDuration:    time.Second,

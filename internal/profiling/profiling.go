@@ -1,0 +1,77 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile
+// flags into a command: CPU profiling runs from Start to Stop, and the
+// heap profile is captured at Stop after a final GC. Commands must call
+// Stop on every exit path — including error paths that end in os.Exit,
+// which skips deferred calls — or the CPU profile is silently truncated.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by AddFlags.
+type Flags struct {
+	// CPUProfile is the CPU profile path, empty for none.
+	CPUProfile string
+	// MemProfile is the heap profile path, empty for none.
+	MemProfile string
+
+	cpuFile *os.File
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
+	return f
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call after
+// flag parsing, before the measured work.
+func (f *Flags) Start() error {
+	if f.CPUProfile == "" {
+		return nil
+	}
+	file, err := os.Create(f.CPUProfile)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("profiling: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop flushes the CPU profile and writes the heap profile. It is
+// idempotent, so it can run both deferred and on an error exit path.
+func (f *Flags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := f.cpuFile.Close()
+		f.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if f.MemProfile != "" {
+		path := f.MemProfile
+		f.MemProfile = ""
+		file, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer file.Close()
+		runtime.GC() // report live objects, not transient garbage
+		if err := pprof.WriteHeapProfile(file); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return nil
+}

@@ -24,7 +24,11 @@ func (s *Conv) Name() string { return "Conv" }
 
 // Plan implements sim.Scheme.
 func (s *Conv) Plan(view sim.ClusterView) []sim.Action {
-	acts := make([]sim.Action, len(view.Racks))
+	return s.PlanInto(view, make([]sim.Action, len(view.Racks)))
+}
+
+// PlanInto implements sim.ScratchPlanner.
+func (s *Conv) PlanInto(view sim.ClusterView, acts []sim.Action) []sim.Action {
 	for i := range view.Racks {
 		acts[i].Charge = s.planCharge(i, view.Racks)
 	}
@@ -47,7 +51,11 @@ func (s *PS) Name() string { return "PS" }
 
 // Plan implements sim.Scheme.
 func (s *PS) Plan(view sim.ClusterView) []sim.Action {
-	acts := make([]sim.Action, len(view.Racks))
+	return s.PlanInto(view, make([]sim.Action, len(view.Racks)))
+}
+
+// PlanInto implements sim.ScratchPlanner.
+func (s *PS) PlanInto(view sim.ClusterView, acts []sim.Action) []sim.Action {
 	for i, v := range view.Racks {
 		if need := v.Demand - v.Budget; need > 0 {
 			acts[i].Discharge = units.Min(need, v.BatteryMax)
@@ -65,7 +73,8 @@ func (s *PS) Plan(view sim.ClusterView) []sim.Action {
 // blind spot hidden spikes exploit. Battery shaving stays hardware-fast.
 type PSPC struct {
 	chargers
-	gov capGovernor
+	gov     capGovernor
+	desired []float64 // reusable per-rack cap request scratch
 }
 
 // NewPSPC builds the PS-plus-power-capping baseline.
@@ -83,9 +92,19 @@ func (s *PSPC) SetMonitoringTau(tau time.Duration) { s.gov.Tau = tau }
 
 // Plan implements sim.Scheme.
 func (s *PSPC) Plan(view sim.ClusterView) []sim.Action {
+	return s.PlanInto(view, make([]sim.Action, len(view.Racks)))
+}
+
+// PlanInto implements sim.ScratchPlanner.
+func (s *PSPC) PlanInto(view sim.ClusterView, acts []sim.Action) []sim.Action {
 	smoothed := s.gov.observe(view)
-	desired := make([]float64, len(view.Racks))
-	acts := make([]sim.Action, len(view.Racks))
+	if cap(s.desired) < len(view.Racks) {
+		s.desired = make([]float64, len(view.Racks))
+	}
+	desired := s.desired[:len(view.Racks)]
+	for i := range desired {
+		desired[i] = 0
+	}
 	for i, v := range view.Racks {
 		// Hardware shaving reacts to instantaneous excess.
 		if need := v.Demand - v.Budget; need > 0 {

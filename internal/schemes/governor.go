@@ -23,8 +23,17 @@ type capGovernor struct {
 	// Delay is the actuation latency. 0 selects 300 ms.
 	Delay time.Duration
 
-	smoothed []float64   // per-rack smoothed demand, watts
-	queue    [][]float64 // pending per-rack freq decisions
+	smoothed []float64     // per-rack smoothed demand, watts
+	obsOut   []units.Watts // reusable observe result, valid until next observe
+	// The actuation delay line is a ring of depth+1 reusable slots: a
+	// submit copies desired into the tail slot and returns the head slot
+	// (or the shared zero slice while the line fills). Returned slices
+	// are owned by the governor and valid until the slot cycles back
+	// around, i.e. at least until the next submit.
+	ring     [][]float64
+	ringHead int
+	ringLen  int
+	zeros    []float64
 }
 
 func (g *capGovernor) tau() time.Duration {
@@ -41,7 +50,9 @@ func (g *capGovernor) delay() time.Duration {
 	return g.Delay
 }
 
-// observe updates the smoothed demand estimates and returns them.
+// observe updates the smoothed demand estimates and returns them. The
+// returned slice is owned by the governor and valid until the next
+// observe call.
 func (g *capGovernor) observe(view sim.ClusterView) []units.Watts {
 	n := len(view.Racks)
 	if g.smoothed == nil {
@@ -49,9 +60,10 @@ func (g *capGovernor) observe(view sim.ClusterView) []units.Watts {
 		for i, v := range view.Racks {
 			g.smoothed[i] = float64(v.Demand) // seed from first sight
 		}
+		g.obsOut = make([]units.Watts, n)
 	}
 	alpha := 1 - math.Exp(-view.Tick.Seconds()/g.tau().Seconds())
-	out := make([]units.Watts, n)
+	out := g.obsOut[:n]
 	for i, v := range view.Racks {
 		g.smoothed[i] += alpha * (float64(v.Demand) - g.smoothed[i])
 		out[i] = units.Watts(g.smoothed[i])
@@ -61,18 +73,38 @@ func (g *capGovernor) observe(view sim.ClusterView) []units.Watts {
 
 // submit enqueues this tick's desired frequencies and returns the
 // frequencies that actually take effect now (decisions from Delay ago;
-// 0 entries mean uncapped).
+// 0 entries mean uncapped). The returned slice is owned by the governor
+// and valid until the next submit call.
 func (g *capGovernor) submit(desired []float64, tick time.Duration) []float64 {
 	depth := 0
 	if tick > 0 {
 		depth = int(g.delay() / tick)
 	}
-	g.queue = append(g.queue, append([]float64(nil), desired...))
-	if len(g.queue) <= depth {
-		return make([]float64, len(desired)) // nothing actuated yet
+	if len(g.ring) < depth+1 {
+		// First call (or a tick change mid-run, which never happens inside
+		// one simulation): grow the ring, preserving queue order.
+		grown := make([][]float64, depth+1)
+		for i := 0; i < g.ringLen; i++ {
+			grown[i] = g.ring[(g.ringHead+i)%len(g.ring)]
+		}
+		g.ring = grown
+		g.ringHead = 0
 	}
-	head := g.queue[0]
-	g.queue = g.queue[1:]
+	tail := (g.ringHead + g.ringLen) % len(g.ring)
+	if g.ring[tail] == nil {
+		g.ring[tail] = make([]float64, len(desired))
+	}
+	copy(g.ring[tail], desired)
+	g.ringLen++
+	if g.ringLen <= depth {
+		if g.zeros == nil {
+			g.zeros = make([]float64, len(desired))
+		}
+		return g.zeros // nothing actuated yet
+	}
+	head := g.ring[g.ringHead]
+	g.ringHead = (g.ringHead + 1) % len(g.ring)
+	g.ringLen--
 	return head
 }
 

@@ -19,6 +19,10 @@ type PAD struct {
 	gov     capGovernor
 	shedder *core.Shedder
 	policy  *core.Policy
+
+	// Per-tick scratch, reused across PlanInto calls.
+	desired []float64
+	socs    []float64
 }
 
 // NewPAD builds the full defense.
@@ -53,6 +57,11 @@ func (s *PAD) Level() core.Level {
 
 // Plan implements sim.Scheme.
 func (s *PAD) Plan(view sim.ClusterView) []sim.Action {
+	return s.PlanInto(view, make([]sim.Action, len(view.Racks)))
+}
+
+// PlanInto implements sim.ScratchPlanner.
+func (s *PAD) PlanInto(view sim.ClusterView, scratch []sim.Action) []sim.Action {
 	smoothed := s.gov.observe(view)
 	inputs := s.policyInputs(view, smoothedTotal(smoothed))
 	if s.policy == nil {
@@ -67,7 +76,7 @@ func (s *PAD) Plan(view sim.ClusterView) []sim.Action {
 
 	// The vDEB pool runs at every level; with the pool drained its
 	// allocations collapse to zero on their own.
-	acts := s.planner.plan(view, &s.chargers)
+	acts := s.planner.planInto(view, &s.chargers, scratch)
 
 	// Keep the μDEB banks topped up from headroom at all levels.
 	for i, v := range view.Racks {
@@ -92,7 +101,13 @@ func (s *PAD) Plan(view sim.ClusterView) []sim.Action {
 	if level >= core.Level3 {
 		floor -= 0.05
 	}
-	desired := make([]float64, len(view.Racks))
+	if cap(s.desired) < len(view.Racks) {
+		s.desired = make([]float64, len(view.Racks))
+	}
+	desired := s.desired[:len(view.Racks)]
+	for i := range desired {
+		desired[i] = 0
+	}
 	for i, v := range view.Racks {
 		budget := acts[i].Budget
 		if budget == 0 {
@@ -121,7 +136,10 @@ func (s *PAD) Plan(view sim.ClusterView) []sim.Action {
 	shortfall := smoothedTotal(smoothed) - view.PDUBudget
 	uncovered := shortfall - poolCover
 	if level >= core.Level3 || (inputs.VisiblePeak && uncovered > 0) {
-		socs := make([]float64, len(view.Racks))
+		if cap(s.socs) < len(view.Racks) {
+			s.socs = make([]float64, len(view.Racks))
+		}
+		socs := s.socs[:len(view.Racks)]
 		for i, v := range view.Racks {
 			socs[i] = v.BatterySOC
 		}

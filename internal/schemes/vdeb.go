@@ -24,6 +24,11 @@ type vdebPlanner struct {
 	started     bool
 	allocCap    []units.Watts
 	budgets     []units.Watts
+
+	// Refresh scratch, reused across the 1-second recomputations.
+	socs     []float64
+	alloc    []units.Watts
+	expected []units.Watts
 }
 
 func newVDEBPlanner(opts Options) *vdebPlanner {
@@ -42,7 +47,14 @@ func newVDEBPlanner(opts Options) *vdebPlanner {
 // refresh recomputes discharge caps and soft limits from the current view.
 func (p *vdebPlanner) refresh(view sim.ClusterView) {
 	n := len(view.Racks)
-	socs := make([]float64, n)
+	if len(p.allocCap) != n {
+		p.allocCap = make([]units.Watts, n)
+		p.budgets = make([]units.Watts, n)
+		p.socs = make([]float64, n)
+		p.alloc = make([]units.Watts, n)
+		p.expected = make([]units.Watts, n)
+	}
+	socs := p.socs
 	for i, v := range view.Racks {
 		socs[i] = v.BatterySOC
 	}
@@ -50,10 +62,8 @@ func (p *vdebPlanner) refresh(view sim.ClusterView) {
 	if pShave < 0 {
 		pShave = 0
 	}
-	alloc := p.ctrl.Allocate(socs, pShave)
-	p.allocCap = make([]units.Watts, n)
-	p.budgets = make([]units.Watts, n)
-	expected := make([]units.Watts, n)
+	alloc := p.ctrl.AllocateInto(p.alloc, socs, pShave)
+	expected := p.expected
 	var expectedSum units.Watts
 	for i, v := range view.Racks {
 		cap_ := units.Min(alloc[i], v.BatteryMax)
@@ -100,14 +110,14 @@ func (p *vdebPlanner) refresh(view sim.ClusterView) {
 	}
 }
 
-// plan produces the per-rack pooling actions for this tick.
-func (p *vdebPlanner) plan(view sim.ClusterView, ch *chargers) []sim.Action {
+// planInto produces the per-rack pooling actions for this tick in acts,
+// which must hold len(view.Racks) zeroed entries.
+func (p *vdebPlanner) planInto(view sim.ClusterView, ch *chargers, acts []sim.Action) []sim.Action {
 	if !p.started || view.Time-p.lastRefresh >= p.refreshEvery {
 		p.refresh(view)
 		p.lastRefresh = view.Time
 		p.started = true
 	}
-	acts := make([]sim.Action, len(view.Racks))
 	for i, v := range view.Racks {
 		acts[i].Budget = p.budgets[i]
 		excess := v.Demand - p.budgets[i]
@@ -147,7 +157,12 @@ func (s *VDEB) Name() string { return "vDEB" }
 
 // Plan implements sim.Scheme.
 func (s *VDEB) Plan(view sim.ClusterView) []sim.Action {
-	return s.planner.plan(view, &s.chargers)
+	return s.PlanInto(view, make([]sim.Action, len(view.Racks)))
+}
+
+// PlanInto implements sim.ScratchPlanner.
+func (s *VDEB) PlanInto(view sim.ClusterView, acts []sim.Action) []sim.Action {
+	return s.planner.planInto(view, &s.chargers, acts)
 }
 
 // UDEB is the μDEB-only design: per-rack peak shaving (as PS) with the
@@ -168,7 +183,11 @@ func (s *UDEB) Name() string { return "uDEB" }
 
 // Plan implements sim.Scheme.
 func (s *UDEB) Plan(view sim.ClusterView) []sim.Action {
-	acts := make([]sim.Action, len(view.Racks))
+	return s.PlanInto(view, make([]sim.Action, len(view.Racks)))
+}
+
+// PlanInto implements sim.ScratchPlanner.
+func (s *UDEB) PlanInto(view sim.ClusterView, acts []sim.Action) []sim.Action {
 	for i, v := range view.Racks {
 		if need := v.Demand - v.Budget; need > 0 {
 			acts[i].Discharge = units.Min(need, v.BatteryMax)

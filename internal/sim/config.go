@@ -62,7 +62,10 @@ type ClusterView struct {
 	TotalDemand units.Watts
 	// PDUBudget is the cluster feed budget.
 	PDUBudget units.Watts
-	// Racks are the per-rack views.
+	// Racks are the per-rack views. The backing array is owned by the
+	// engine and reused on every tick: it is valid only for the duration
+	// of the Plan/PlanInto call and must never be retained or mutated by
+	// the scheme. Copy any values needed across ticks.
 	Racks []RackView
 }
 
@@ -96,6 +99,21 @@ type Scheme interface {
 	Name() string
 	// Plan returns one Action per rack for this tick.
 	Plan(view ClusterView) []Action
+}
+
+// ScratchPlanner is the allocation-free planning path. A scheme that
+// implements it is handed a scratch slice owned by the engine — len
+// equal to len(view.Racks), zeroed before every call — and returns the
+// tick's actions in it (or in any other slice of the right length; the
+// engine consumes the returned slice before the next PlanInto call, so
+// scheme-owned buffers may be reused too). Schemes implement Plan by
+// wrapping PlanInto with a fresh slice, keeping both entry points in
+// agreement. The engine prefers PlanInto whenever it is available.
+type ScratchPlanner interface {
+	Scheme
+	// PlanInto returns one Action per rack for this tick, using scratch
+	// to avoid a per-tick allocation.
+	PlanInto(view ClusterView, scratch []Action) []Action
 }
 
 // AttackSpec places a two-phase power virus on specific servers.

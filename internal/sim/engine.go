@@ -73,7 +73,8 @@ type Recording struct {
 	RackSOC []*stats.Series
 	// RackDraw has one feed-draw series per rack.
 	RackDraw []*stats.Series
-	// MicroSOC has one μDEB SOC series per rack (empty when no μDEB).
+	// MicroSOC has one μDEB SOC series per rack, or nil when the run
+	// deployed no μDEB (Config.MicroDEBFactory was nil).
 	MicroSOC []*stats.Series
 	// Levels samples the scheme's security level (0 when not reported).
 	Levels []core.Level
@@ -94,7 +95,63 @@ type rack struct {
 	downFor  time.Duration // accumulated downtime since the trip
 }
 
+// bgSampler samples the per-server background series without a division
+// per server: series are grouped by sampling step and the interpolation
+// coefficients are computed once per (step, tick), then reused across
+// every series in the group. The arithmetic per sample is exactly
+// stats.Series.Interp's, so the results are bit-identical.
+type bgSampler struct {
+	series  []*stats.Series
+	stepIdx []int               // per-series index into steps
+	steps   []time.Duration     // distinct sampling steps
+	points  []stats.InterpPoint // per-step coefficients for the current tick
+}
+
+func newBGSampler(series []*stats.Series) bgSampler {
+	b := bgSampler{series: series}
+	if len(series) == 0 {
+		return b
+	}
+	b.stepIdx = make([]int, len(series))
+	for i, s := range series {
+		found := -1
+		for j, st := range b.steps {
+			if st == s.Step {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			b.steps = append(b.steps, s.Step)
+			found = len(b.steps) - 1
+		}
+		b.stepIdx[i] = found
+	}
+	b.points = make([]stats.InterpPoint, len(b.steps))
+	return b
+}
+
+// tick precomputes this offset's interpolation coefficients, one per
+// distinct step.
+func (b *bgSampler) tick(now time.Duration) {
+	for i, st := range b.steps {
+		b.points[i] = stats.InterpPointAt(st, now)
+	}
+}
+
+// at returns series s interpolated at the offset passed to tick.
+func (b *bgSampler) at(s int) float64 {
+	return b.series[s].InterpAt(b.points[b.stepIdx[s]])
+}
+
 // Run executes one simulation and returns its result.
+//
+// The per-tick loop is allocation-free in steady state: every buffer the
+// engine needs (soft limits, draws, the scheme's view and action slices,
+// the shed selector's scratch) is allocated once up front and reused.
+// Schemes implementing ScratchPlanner extend that guarantee through the
+// planning step; plain Plan schemes still work but allocate their own
+// action slice per tick.
 func Run(cfg Config, scheme Scheme) (*Result, error) {
 	if scheme == nil {
 		return nil, fmt.Errorf("sim: scheme is required")
@@ -135,10 +192,22 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 		racks[i] = r
 	}
 
-	compromised := map[int]bool{}
+	totalServers := cfg.Racks * cfg.ServersPerRack
+
+	// Compromised-server index: a per-server flag slice for the demand
+	// loop and the distinct compromised racks for the attacker's
+	// capped-observation scan — no map lookups on the hot path.
+	var compromisedFlag []bool
+	var compromisedRacks []int
 	if cfg.Attack != nil {
+		compromisedFlag = make([]bool, totalServers)
+		rackSeen := make([]bool, cfg.Racks)
 		for _, s := range cfg.Attack.Servers {
-			compromised[s] = true
+			compromisedFlag[s] = true
+			if r := s / cfg.ServersPerRack; !rackSeen[r] {
+				rackSeen[r] = true
+				compromisedRacks = append(compromisedRacks, r)
+			}
 		}
 	}
 	res := &Result{
@@ -157,14 +226,24 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 		}
 	}
 
-	totalServers := cfg.Racks * cfg.ServersPerRack
 	lastFreq := make([]float64, cfg.Racks)
 	for i := range lastFreq {
 		lastFreq[i] = 1
 	}
+
+	// Scratch buffers owned by this run and reused every tick. The views
+	// slice doubles as ClusterView.Racks: the scheme sees it during Plan
+	// only and must not retain it (see the ClusterView contract).
 	views := make([]RackView, cfg.Racks)
 	demandU := make([]float64, totalServers)
 	lastDraws := make([]units.Watts, cfg.Racks)
+	limits := make([]units.Watts, cfg.Racks)
+	draws := make([]units.Watts, cfg.Racks)
+	actsBuf := make([]Action, cfg.Racks)
+	topK := newTopKSelector(cfg.ServersPerRack)
+	bg := newBGSampler(cfg.Background)
+	scratchScheme, hasScratch := scheme.(ScratchPlanner)
+	levelScheme, hasLevel := scheme.(LevelReporter)
 
 	var demandedWork, deliveredWork float64
 	var shedSum float64
@@ -178,8 +257,8 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 		attackU := 0.0
 		if cfg.Attack != nil {
 			capped := false
-			for s := range compromised {
-				if lastFreq[s/cfg.ServersPerRack] < 0.999 {
+			for _, r := range compromisedRacks {
+				if lastFreq[r] < 0.999 {
 					capped = true
 					break
 				}
@@ -189,15 +268,23 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 
 		// 2. Per-server utilization demand and per-rack electrical demand
 		// at full frequency.
-		for s := 0; s < totalServers; s++ {
-			u := 0.0
-			if cfg.Background != nil {
-				u = cfg.Background[s].Interp(now)
+		if bg.series != nil {
+			bg.tick(now)
+			for s := 0; s < totalServers; s++ {
+				u := bg.at(s)
+				if compromisedFlag != nil && compromisedFlag[s] && attackU > u {
+					u = attackU
+				}
+				demandU[s] = u
 			}
-			if compromised[s] && attackU > u {
-				u = attackU
+		} else {
+			for s := 0; s < totalServers; s++ {
+				u := 0.0
+				if compromisedFlag != nil && compromisedFlag[s] && attackU > u {
+					u = attackU
+				}
+				demandU[s] = u
 			}
-			demandU[s] = u
 		}
 		for i, r := range racks {
 			var demand units.Watts
@@ -222,14 +309,24 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 			totalDemand += views[i].Demand
 		}
 
-		// 3. Scheme decides.
-		actions := scheme.Plan(ClusterView{
+		// 3. Scheme decides. ScratchPlanner schemes fill the engine's
+		// reusable action buffer; plain schemes allocate their own.
+		view := ClusterView{
 			Time:        now,
 			Tick:        cfg.Tick,
 			TotalDemand: totalDemand,
 			PDUBudget:   pduBudget,
-			Racks:       append([]RackView(nil), views...),
-		})
+			Racks:       views,
+		}
+		var actions []Action
+		if hasScratch {
+			for i := range actsBuf {
+				actsBuf[i] = Action{}
+			}
+			actions = scratchScheme.PlanInto(view, actsBuf)
+		} else {
+			actions = scheme.Plan(view)
+		}
 		if len(actions) != cfg.Racks {
 			return nil, fmt.Errorf("sim: scheme %s returned %d actions for %d racks",
 				scheme.Name(), len(actions), cfg.Racks)
@@ -239,7 +336,6 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 		// scheme passed 0, proportional scale-down if the total exceeds
 		// the PDU budget (eq. 2 must keep holding).
 		var budgetSum units.Watts
-		limits := make([]units.Watts, cfg.Racks)
 		for i, r := range racks {
 			limits[i] = r.budget
 			if actions[i].Budget > 0 {
@@ -256,7 +352,9 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 
 		// 4b. Apply actions rack by rack.
 		var totalGrid units.Watts
-		draws := make([]units.Watts, cfg.Racks)
+		for i := range draws {
+			draws[i] = 0
+		}
 		shedCount := 0
 		for i, r := range racks {
 			act := actions[i]
@@ -283,7 +381,7 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 			// Shed the highest-demand servers first: that is where the
 			// power (and any resident attacker) is.
 			base := i * cfg.ServersPerRack
-			order := topKByDemand(demandU[base:base+cfg.ServersPerRack], shed)
+			order := topK.mark(demandU[base:base+cfg.ServersPerRack], shed)
 			var power units.Watts
 			for s := 0; s < cfg.ServersPerRack; s++ {
 				u := demandU[base+s]
@@ -429,8 +527,8 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 				}
 			}
 			lvl := core.Level(0)
-			if lr, ok := scheme.(LevelReporter); ok {
-				lvl = lr.Level()
+			if hasLevel {
+				lvl = levelScheme.Level()
 			}
 			rec.Levels = append(rec.Levels, lvl)
 			rec.ShedRatio.Append(float64(shedCount) / float64(totalServers))
@@ -453,38 +551,111 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 }
 
 func newRecording(cfg Config) *Recording {
+	// Sized for the full horizon so steady-state recording never grows a
+	// slice; a StopOnTrip run simply leaves capacity unused.
+	n := int(cfg.Duration/cfg.RecordStep) + 1
 	rec := &Recording{
 		Step:       cfg.RecordStep,
-		TotalGrid:  stats.NewSeries(cfg.RecordStep),
-		ShedRatio:  stats.NewSeries(cfg.RecordStep),
-		AttackUtil: stats.NewSeries(cfg.RecordStep),
+		TotalGrid:  stats.NewSeriesWithCap(cfg.RecordStep, n),
+		ShedRatio:  stats.NewSeriesWithCap(cfg.RecordStep, n),
+		AttackUtil: stats.NewSeriesWithCap(cfg.RecordStep, n),
+		Levels:     make([]core.Level, 0, n),
 	}
 	for i := 0; i < cfg.Racks; i++ {
-		rec.RackSOC = append(rec.RackSOC, stats.NewSeries(cfg.RecordStep))
-		rec.RackDraw = append(rec.RackDraw, stats.NewSeries(cfg.RecordStep))
-		rec.MicroSOC = append(rec.MicroSOC, stats.NewSeries(cfg.RecordStep))
+		rec.RackSOC = append(rec.RackSOC, stats.NewSeriesWithCap(cfg.RecordStep, n))
+		rec.RackDraw = append(rec.RackDraw, stats.NewSeriesWithCap(cfg.RecordStep, n))
+	}
+	// MicroSOC stays nil without μDEB hardware, as the field documents.
+	if cfg.MicroDEBFactory != nil {
+		for i := 0; i < cfg.Racks; i++ {
+			rec.MicroSOC = append(rec.MicroSOC, stats.NewSeriesWithCap(cfg.RecordStep, n))
+		}
 	}
 	return rec
 }
 
-// topKByDemand marks the k highest-demand server slots.
-func topKByDemand(us []float64, k int) []bool {
-	marked := make([]bool, len(us))
-	for n := 0; n < k; n++ {
-		best := -1
-		for i, u := range us {
-			if marked[i] {
-				continue
-			}
-			if best == -1 || u > us[best] {
-				best = i
-			}
-		}
-		if best == -1 {
-			break
-		}
-		marked[best] = true
+// topKSelector marks the k highest-demand server slots of a rack using a
+// reusable size-k min-heap: O(n log k) per call, no allocations after
+// construction. Ties break toward the lower index, matching the
+// selection order of the original O(k·n) rescan.
+type topKSelector struct {
+	marked []bool
+	heap   []int
+}
+
+func newTopKSelector(n int) *topKSelector {
+	return &topKSelector{marked: make([]bool, n), heap: make([]int, 0, n)}
+}
+
+// worse reports whether slot a ranks strictly below slot b in selection
+// priority (lower demand, or equal demand at a higher index).
+func worse(us []float64, a, b int) bool {
+	if us[a] != us[b] {
+		return us[a] < us[b]
 	}
+	return a > b
+}
+
+// mark returns a slice with true at the k highest-demand indices of us.
+// The slice is owned by the selector and valid until the next call.
+func (t *topKSelector) mark(us []float64, k int) []bool {
+	marked := t.marked[:len(us)]
+	for i := range marked {
+		marked[i] = false
+	}
+	if k <= 0 {
+		return marked
+	}
+	if k >= len(us) {
+		for i := range marked {
+			marked[i] = true
+		}
+		return marked
+	}
+	// Min-heap of the k best slots seen so far; the root is the weakest
+	// keeper and is evicted by any stronger candidate.
+	h := t.heap[:0]
+	for i := range us {
+		if len(h) < k {
+			h = append(h, i)
+			// Sift up.
+			c := len(h) - 1
+			for c > 0 {
+				p := (c - 1) / 2
+				if !worse(us, h[c], h[p]) {
+					break
+				}
+				h[c], h[p] = h[p], h[c]
+				c = p
+			}
+			continue
+		}
+		if worse(us, i, h[0]) {
+			continue
+		}
+		h[0] = i
+		// Sift down.
+		p := 0
+		for {
+			l, r := 2*p+1, 2*p+2
+			min := p
+			if l < len(h) && worse(us, h[l], h[min]) {
+				min = l
+			}
+			if r < len(h) && worse(us, h[r], h[min]) {
+				min = r
+			}
+			if min == p {
+				break
+			}
+			h[p], h[min] = h[min], h[p]
+			p = min
+		}
+	}
+	for _, i := range h {
+		marked[i] = true
+	}
+	t.heap = h
 	return marked
 }
 

@@ -1,0 +1,106 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/virus"
+)
+
+// planOnly hides a scheme's PlanInto so the engine takes the legacy
+// allocate-per-tick Plan path.
+type planOnly struct{ inner sim.Scheme }
+
+func (p planOnly) Name() string                           { return p.inner.Name() }
+func (p planOnly) Plan(view sim.ClusterView) []sim.Action { return p.inner.Plan(view) }
+
+// planOnlyWithLevel keeps the security level visible (PAD), so the
+// recorded Levels series is identical on both paths.
+type planOnlyWithLevel struct {
+	planOnly
+	lr sim.LevelReporter
+}
+
+func (p planOnlyWithLevel) Level() core.Level { return p.lr.Level() }
+
+func hidePlanInto(s sim.Scheme) sim.Scheme {
+	if lr, ok := s.(sim.LevelReporter); ok {
+		return planOnlyWithLevel{planOnly{s}, lr}
+	}
+	return planOnly{s}
+}
+
+func planIntoConfig() sim.Config {
+	const racks, spr = 3, 5
+	horizon := 12 * time.Second
+	bg := make([]*stats.Series, racks*spr)
+	rng := stats.NewRNG(23)
+	for i := range bg {
+		r := rng.Split(uint64(i))
+		s := stats.NewSeries(time.Second)
+		for k := 0; k <= int(horizon/time.Second)+1; k++ {
+			s.Append(0.35 + 0.4*r.Float64())
+		}
+		bg[i] = s
+	}
+	return sim.Config{
+		Key:            "planinto/equivalence",
+		Racks:          racks,
+		ServersPerRack: spr,
+		Tick:           100 * time.Millisecond,
+		Duration:       horizon,
+		Background:     bg,
+		Record:         true,
+		Attack: &sim.AttackSpec{
+			Servers: []int{0, 1, 5},
+			Attack: virus.MustNew(virus.Config{
+				Profile:         virus.CPUIntensive,
+				PrepDuration:    time.Second,
+				MaxPhaseI:       3 * time.Second,
+				SpikeWidth:      time.Second,
+				SpikesPerMinute: 15,
+				Seed:            9,
+			}),
+		},
+	}
+}
+
+// TestPlanIntoMatchesPlan is the ScratchPlanner contract check: for
+// every scheme, a run through the zero-allocation PlanInto path must
+// produce a Result deeply equal — recordings included — to a run where
+// the engine is forced onto the legacy Plan path. Schemes implement
+// Plan as a PlanInto wrapper, so any divergence means a scratch buffer
+// leaked state between ticks.
+func TestPlanIntoMatchesPlan(t *testing.T) {
+	makers := map[string]func() sim.Scheme{
+		"Conv": func() sim.Scheme { return schemes.NewConv(schemes.Options{}) },
+		"PS":   func() sim.Scheme { return schemes.NewPS(schemes.Options{}) },
+		"PSPC": func() sim.Scheme { return schemes.NewPSPC(schemes.Options{}) },
+		"uDEB": func() sim.Scheme { return schemes.NewUDEB(schemes.Options{}) },
+		"vDEB": func() sim.Scheme { return schemes.NewVDEB(schemes.Options{}) },
+		"PAD":  func() sim.Scheme { return schemes.NewPAD(schemes.Options{}) },
+	}
+	for name, mk := range makers {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := mk().(sim.ScratchPlanner); !ok {
+				t.Fatalf("%s does not implement sim.ScratchPlanner", name)
+			}
+			fast, err := sim.Run(planIntoConfig(), mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := sim.Run(planIntoConfig(), hidePlanInto(mk()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fast, legacy) {
+				t.Fatalf("%s: PlanInto path and Plan path produced different Results", name)
+			}
+		})
+	}
+}

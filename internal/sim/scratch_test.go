@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// naiveTopK is the seed engine's O(k·n) selection: repeatedly mark the
+// unmarked maximum, breaking ties toward the lower index. It is the
+// reference the heap-based selector must match exactly — the engine
+// sheds precisely the servers this marks.
+func naiveTopK(us []float64, k int) []bool {
+	marked := make([]bool, len(us))
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, u := range us {
+			if marked[i] {
+				continue
+			}
+			if best == -1 || u > us[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		marked[best] = true
+	}
+	return marked
+}
+
+func TestTopKSelectorMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(41)
+	sel := newTopKSelector(16)
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + int(rng.Range(0, 16))
+		us := make([]float64, n)
+		for i := range us {
+			if trial%2 == 0 {
+				// Heavy ties: values from a 4-level grid.
+				us[i] = float64(int(rng.Range(0, 4))) * 0.25
+			} else {
+				us[i] = rng.Float64()
+			}
+		}
+		for k := 0; k <= n+1; k++ {
+			want := naiveTopK(us, k)
+			got := sel.mark(us, k)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("trial %d, n=%d, k=%d, us=%v:\nnaive %v\nheap  %v",
+						trial, n, k, us, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKSelectorReuse(t *testing.T) {
+	sel := newTopKSelector(4)
+	first := sel.mark([]float64{1, 2, 3, 4}, 2)
+	if !first[3] || !first[2] || first[0] || first[1] {
+		t.Fatalf("first mark wrong: %v", first)
+	}
+	// A later call with different arguments must fully overwrite the
+	// shared scratch, including clearing previously set entries.
+	second := sel.mark([]float64{4, 3, 2, 1}, 1)
+	if !second[0] || second[1] || second[2] || second[3] {
+		t.Fatalf("reused mark wrong: %v", second)
+	}
+}

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// InterpPoint is the precomputed coefficient set Interp derives from an
+// offset: the fractional sample position plus the floor index and blend
+// fraction. Computing it once per tick and reusing it across every
+// series that shares a sampling step removes the per-series division
+// from the simulator's hot loop while producing bit-identical floats —
+// InterpAt evaluates exactly the expression Interp would.
+type InterpPoint struct {
+	// Pos is the fractional sample position t/step.
+	Pos float64
+	// Lo is floor(Pos), the lower neighbouring sample index.
+	Lo int
+	// Frac is Pos − Lo, the blend weight of the upper neighbour.
+	Frac float64
+}
+
+// InterpPointAt computes the interpolation coefficients Interp would use
+// for offset t on any series sampled at the given step.
+func InterpPointAt(step, t time.Duration) InterpPoint {
+	pos := float64(t) / float64(step)
+	lo := int(math.Floor(pos))
+	return InterpPoint{Pos: pos, Lo: lo, Frac: pos - float64(lo)}
+}
+
+// InterpAt returns the value at the precomputed point, bit-identical to
+// Interp(t) for the t the point was computed from — provided the point
+// was computed with this series' step. Values clamp at the ends exactly
+// as Interp clamps.
+func (s *Series) InterpAt(p InterpPoint) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	if p.Pos <= 0 {
+		return s.Values[0]
+	}
+	if p.Pos >= float64(len(s.Values)-1) {
+		return s.Values[len(s.Values)-1]
+	}
+	return s.Values[p.Lo]*(1-p.Frac) + s.Values[p.Lo+1]*p.Frac
+}

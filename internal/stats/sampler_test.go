@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestInterpAtMatchesInterpExactly is the fast-path sampler's contract:
+// for any series and any offset, InterpAt over a point computed with the
+// series' step must return the same float64, bit for bit, as Interp —
+// including at and beyond the clamped ends. The simulator relies on this
+// for byte-identical sweep output.
+func TestInterpAtMatchesInterpExactly(t *testing.T) {
+	rng := NewRNG(99)
+	steps := []time.Duration{
+		time.Millisecond, 100 * time.Millisecond, time.Second,
+		10 * time.Second, 5 * time.Minute, time.Hour,
+		7 * time.Second, 333 * time.Millisecond, // non-round steps
+	}
+	for _, step := range steps {
+		for _, n := range []int{0, 1, 2, 3, 64} {
+			s := NewSeries(step)
+			for k := 0; k < n; k++ {
+				s.Append(rng.Float64())
+			}
+			span := time.Duration(n+2) * step
+			// Deterministic offsets covering the start clamp, exact sample
+			// boundaries, interior points and the end clamp.
+			offsets := []time.Duration{
+				0, step / 3, step, step + step/2,
+				span / 2, span - step, span, span + step,
+			}
+			// Plus irregular offsets that do not divide the step.
+			for k := 0; k < 200; k++ {
+				offsets = append(offsets, time.Duration(rng.Range(0, float64(span))))
+			}
+			for _, off := range offsets {
+				want := s.Interp(off)
+				got := s.InterpAt(InterpPointAt(step, off))
+				if math.Float64bits(want) != math.Float64bits(got) {
+					t.Fatalf("step %v, len %d, t=%v: Interp=%x InterpAt=%x",
+						step, n, off, math.Float64bits(want), math.Float64bits(got))
+				}
+			}
+		}
+	}
+}
+
+// TestInterpPointSharedAcrossSeries is how the engine uses the sampler:
+// one point per (step, tick), shared by every series with that step —
+// each must see exactly its own Interp value.
+func TestInterpPointSharedAcrossSeries(t *testing.T) {
+	rng := NewRNG(7)
+	const step = 10 * time.Second
+	series := make([]*Series, 32)
+	for i := range series {
+		s := NewSeries(step)
+		for k := 0; k < 50; k++ {
+			s.Append(rng.Float64())
+		}
+		series[i] = s
+	}
+	for tick := time.Duration(0); tick < 60*step; tick += 100 * time.Millisecond {
+		p := InterpPointAt(step, tick)
+		for i, s := range series {
+			if want, got := s.Interp(tick), s.InterpAt(p); math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("series %d at %v: Interp=%v InterpAt=%v", i, tick, want, got)
+			}
+		}
+	}
+}
+
+func TestNewSeriesWithCap(t *testing.T) {
+	s := NewSeriesWithCap(time.Second, 100)
+	if s.Len() != 0 {
+		t.Fatalf("fresh series has %d samples", s.Len())
+	}
+	if cap(s.Values) != 100 {
+		t.Fatalf("capacity = %d, want 100", cap(s.Values))
+	}
+	s.Append(1)
+	if s.At(0) != 1 {
+		t.Fatal("append broken")
+	}
+}

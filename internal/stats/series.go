@@ -21,6 +21,17 @@ func NewSeries(step time.Duration) *Series {
 	return &Series{Step: step}
 }
 
+// NewSeriesWithCap creates an empty series with room for n samples, so a
+// recorder that knows its sample count up front appends without
+// reallocating.
+func NewSeriesWithCap(step time.Duration, n int) *Series {
+	s := NewSeries(step)
+	if n > 0 {
+		s.Values = make([]float64, 0, n)
+	}
+	return s
+}
+
 // Append records the next sample.
 func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
 
