@@ -14,22 +14,41 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/profiling"
+	"repro/internal/version"
 	"repro/internal/virus"
 )
 
+// pprof is package-level so fatal can flush profiles before os.Exit.
+var pprof *profiling.Flags
+
 func main() {
 	var (
-		scenario = flag.String("scenario", "", "canned scenario: dense or sparse (overrides width/per-min)")
-		profile  = flag.String("profile", "CPU", "virus profile: CPU, Mem, IO")
-		width    = flag.Duration("width", time.Second, "spike width")
-		perMin   = flag.Float64("per-min", 4, "spikes per minute")
-		rest     = flag.Float64("rest", 0.3, "between-spike utilization")
-		duration = flag.Duration("duration", 4*time.Minute, "trace length")
-		step     = flag.Duration("step", 100*time.Millisecond, "sample step")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		out      = flag.String("o", "", "output file (default stdout)")
+		scenario    = flag.String("scenario", "", "canned scenario: dense or sparse (overrides width/per-min)")
+		profile     = flag.String("profile", "CPU", "virus profile: CPU, Mem, IO")
+		width       = flag.Duration("width", time.Second, "spike width")
+		perMin      = flag.Float64("per-min", 4, "spikes per minute")
+		rest        = flag.Float64("rest", 0.3, "between-spike utilization")
+		duration    = flag.Duration("duration", 4*time.Minute, "trace length")
+		step        = flag.Duration("step", 100*time.Millisecond, "sample step")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		out         = flag.String("o", "", "output file (default stdout)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
+	pprof = profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("attackgen", version.String())
+		return
+	}
+	if err := pprof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := pprof.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	prof, err := virus.ProfileByName(*profile)
 	if err != nil {
@@ -71,5 +90,8 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "attackgen:", err)
+	if pprof != nil {
+		pprof.Stop()
+	}
 	os.Exit(1)
 }

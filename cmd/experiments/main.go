@@ -30,6 +30,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/version"
 )
 
 // prof is package-level so fatal can flush profiles before os.Exit.
@@ -42,15 +43,20 @@ type experiment struct {
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "run second-scale versions (shapes preserved)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		only     = flag.String("only", "", "comma-separated experiment names (fig5, table1, ...); empty runs all")
-		results  = flag.String("results", "results", "output directory for CSV artifacts")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker goroutines (1 = sequential)")
-		progress = flag.Bool("progress", false, "report per-run progress and ETA on stderr")
+		quick       = flag.Bool("quick", false, "run second-scale versions (shapes preserved)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		only        = flag.String("only", "", "comma-separated experiment names (fig5, table1, ...); empty runs all")
+		results     = flag.String("results", "results", "output directory for CSV artifacts")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker goroutines (1 = sequential)")
+		progress    = flag.Bool("progress", false, "report per-run progress and ETA on stderr")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	prof = profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("experiments", version.String())
+		return
+	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
 	}

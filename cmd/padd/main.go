@@ -1,0 +1,125 @@
+// Command padd is the online PAD defense daemon. It hosts many
+// independent PDU-scale control sessions, each running the same engine
+// the offline simulator uses, fed by streamed per-server power
+// telemetry over an HTTP JSON API, with Prometheus-style metrics and a
+// per-session event log.
+//
+// Usage:
+//
+//	padd -addr :8484
+//
+// Then:
+//
+//	curl -X POST localhost:8484/v1/sessions -d '{"scheme":"PAD","racks":22,"servers_per_rack":10}'
+//	curl -X POST localhost:8484/v1/sessions/s1/telemetry -d '{"samples":[{"u":[0.4, ...]}]}'
+//	curl localhost:8484/metrics
+//
+// With -replay the daemon instead checks itself: it runs every scheme
+// offline, streams the identical demand through its own HTTP ingest
+// path, and exits non-zero unless the online results match the offline
+// results bit for bit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/padd"
+	"repro/internal/profiling"
+	"repro/internal/version"
+)
+
+// prof is package-level so fatal can flush profiles before os.Exit.
+var prof *profiling.Flags
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8484", "listen address")
+		replay       = flag.Bool("replay", false, "verify online/offline agreement for every scheme, then exit")
+		replayFor    = flag.Duration("replay-duration", 2*time.Minute, "simulated horizon for -replay")
+		replaySeed   = flag.Uint64("replay-seed", 42, "seed for the -replay background load and virus")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining sessions")
+		showVersion  = flag.Bool("version", false, "print version and exit")
+	)
+	prof = profiling.AddFlags(flag.CommandLine)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("padd", version.String())
+		return
+	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
+
+	if *replay {
+		report, err := padd.Replay(padd.ReplayConfig{
+			Duration: *replayFor,
+			Seed:     *replaySeed,
+			Log:      os.Stdout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if !report.OK() {
+			for _, s := range report.Schemes {
+				for _, m := range s.Mismatches {
+					fmt.Fprintf(os.Stderr, "%s: %s\n", s.Scheme, m)
+				}
+			}
+			prof.Stop()
+			os.Exit(1)
+		}
+		fmt.Println("all schemes: online == offline")
+		return
+	}
+
+	mgr := padd.NewManager()
+	srv := &http.Server{Addr: *addr, Handler: padd.NewServer(mgr)}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("padd listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Printf("caught %v; draining sessions\n", sig)
+	}
+
+	// Stop accepting requests, then drain every session so all
+	// acknowledged telemetry is processed before exit.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "http shutdown:", err)
+	}
+	if err := mgr.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("draining sessions: %w", err))
+	}
+	fmt.Println("drained; bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "padd:", err)
+	if prof != nil {
+		prof.Stop()
+	}
+	os.Exit(1)
+}

@@ -16,15 +16,13 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/battery"
-	"repro/internal/core"
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/units"
+	"repro/internal/version"
 	"repro/internal/virus"
 )
 
@@ -51,9 +49,14 @@ func main() {
 		compare     = flag.Bool("compare", false, "run all six schemes and chart their survival")
 		chart       = flag.Bool("chart", false, "plot the cluster feed draw and mean battery SOC over the run")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for -compare (1 = sequential)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	prof = profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("padsim", version.String())
+		return
+	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
 	}
@@ -105,25 +108,12 @@ func main() {
 		return
 	}
 	cfg.Attack = mkAttack()
-	var scheme sim.Scheme
-	switch *schemeName {
-	case "Conv":
-		scheme = schemes.NewConv(opts)
-	case "PS":
-		scheme = schemes.NewPS(opts)
-	case "PSPC":
-		scheme = schemes.NewPSPC(opts)
-	case "uDEB":
-		scheme = schemes.NewUDEB(opts)
-	case "vDEB":
-		scheme = schemes.NewVDEB(opts)
-	case "PAD":
-		scheme = schemes.NewPAD(opts)
-	default:
-		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
+	scheme, err := schemes.ByName(*schemeName, opts)
+	if err != nil {
+		fatal(err)
 	}
-	if *schemeName == "uDEB" || *schemeName == "PAD" {
-		cfg.MicroDEBFactory = microFactory(*microFrac)
+	if schemes.NeedsMicroDEB(*schemeName) {
+		cfg.MicroDEBFactory = schemes.MicroDEBFactory(*microFrac)
 	}
 
 	if *chart {
@@ -207,13 +197,14 @@ func runComparison(base sim.Config, mkAttack func() *sim.AttackSpec,
 		mk    func() sim.Scheme
 		micro bool
 	}
-	entries := []entry{
-		{"Conv", func() sim.Scheme { return schemes.NewConv(opts) }, false},
-		{"PS", func() sim.Scheme { return schemes.NewPS(opts) }, false},
-		{"PSPC", func() sim.Scheme { return schemes.NewPSPC(opts) }, false},
-		{"uDEB", func() sim.Scheme { return schemes.NewUDEB(opts) }, true},
-		{"vDEB", func() sim.Scheme { return schemes.NewVDEB(opts) }, false},
-		{"PAD", func() sim.Scheme { return schemes.NewPAD(opts) }, true},
+	var entries []entry
+	for _, name := range schemes.SchemeNames {
+		name := name
+		entries = append(entries, entry{
+			name:  name,
+			mk:    func() sim.Scheme { s, _ := schemes.ByName(name, opts); return s },
+			micro: schemes.NeedsMicroDEB(name),
+		})
 	}
 	var jobs []runner.Job[*sim.Result]
 	for _, e := range entries {
@@ -224,7 +215,7 @@ func runComparison(base sim.Config, mkAttack func() *sim.AttackSpec,
 				cfg.Key = "padsim/compare/" + e.name
 				cfg.Attack = mkAttack()
 				if e.micro {
-					cfg.MicroDEBFactory = microFactory(microFrac)
+					cfg.MicroDEBFactory = schemes.MicroDEBFactory(microFrac)
 				}
 				return sim.Run(cfg, e.mk())
 			},
@@ -249,38 +240,5 @@ func runComparison(base sim.Config, mkAttack func() *sim.AttackSpec,
 }
 
 func noisyBackground(servers int, mean float64, horizon time.Duration, seed uint64) []*stats.Series {
-	rng := stats.NewRNG(seed)
-	const step = 10 * time.Second
-	n := int(horizon/step) + 2
-	out := make([]*stats.Series, servers)
-	for i := range out {
-		r := rng.Split(uint64(i))
-		s := stats.NewSeries(step)
-		wander := 0.0
-		for k := 0; k < n; k++ {
-			wander = 0.9*wander + r.Norm(0, 0.02)
-			u := mean + wander
-			if u < 0.05 {
-				u = 0.05
-			}
-			if u > 0.98 {
-				u = 0.98
-			}
-			s.Append(u)
-		}
-		out[i] = s
-	}
-	return out
-}
-
-func microFactory(fraction float64) func(nameplate, budget units.Watts) *core.MicroDEB {
-	return func(nameplate, budget units.Watts) *core.MicroDEB {
-		cap_ := battery.SizeForAutonomy(nameplate, battery.RackCabinetAutonomy, 0, 0)
-		bank := battery.NewMicroDEB(units.Joules(float64(cap_)*fraction), nameplate)
-		u, err := core.NewMicroDEB(bank, budget)
-		if err != nil {
-			panic(err)
-		}
-		return u
-	}
+	return stats.NoisyUtilization(servers, mean, horizon, 10*time.Second, seed)
 }

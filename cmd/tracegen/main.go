@@ -14,19 +14,38 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/profiling"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
+
+// prof is package-level so fatal can flush profiles before os.Exit.
+var prof *profiling.Flags
 
 func main() {
 	var (
-		machines = flag.Int("machines", 220, "cluster size")
-		horizon  = flag.Duration("horizon", 30*24*time.Hour, "trace length")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		mean     = flag.Float64("mean-utilization", 0.45, "target mean CPU utilization")
-		surge    = flag.Duration("surge-period", 0, "inject cluster-wide surges at this period (0 disables)")
-		out      = flag.String("o", "", "output file (default stdout)")
+		machines    = flag.Int("machines", 220, "cluster size")
+		horizon     = flag.Duration("horizon", 30*24*time.Hour, "trace length")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		mean        = flag.Float64("mean-utilization", 0.45, "target mean CPU utilization")
+		surge       = flag.Duration("surge-period", 0, "inject cluster-wide surges at this period (0 disables)")
+		out         = flag.String("o", "", "output file (default stdout)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
+	prof = profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("tracegen", version.String())
+		return
+	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	cfg := trace.SynthConfig{
 		Machines:        *machines,
@@ -57,5 +76,8 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	if prof != nil {
+		prof.Stop()
+	}
 	os.Exit(1)
 }

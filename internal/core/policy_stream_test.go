@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/policytest"
+)
+
+// TestPolicyCanonicalTimeline walks every Figure-9 transition edge and
+// hysteresis hold through the shared canonical timeline.
+func TestPolicyCanonicalTimeline(t *testing.T) {
+	for _, strict := range []bool{false, true} {
+		name := "lax"
+		if strict {
+			name = "strict"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Both backups full initially → Level 1 in either mode.
+			p := core.NewPolicy(strict, core.PolicyInputs{VDEBSOC: 0.95, MicroSOC: 0.95})
+			if p.Level() != core.Level1 {
+				t.Fatalf("initial level %v, want L1", p.Level())
+			}
+			policytest.Run(t, p.Step)
+		})
+	}
+}
+
+// TestPolicyInitialTable pins Figure 9's initial-state table over
+// (vDEB>0, μDEB>0, VP>0), including the two rows the paper leaves to
+// the organization's security requirement.
+func TestPolicyInitialTable(t *testing.T) {
+	full, low := 0.95, 0.02
+	cases := []struct {
+		name        string
+		in          core.PolicyInputs
+		lax, strict core.Level
+	}{
+		{"000 both empty", core.PolicyInputs{VDEBSOC: low, MicroSOC: low}, core.Level3, core.Level3},
+		{"001 both empty, peak", core.PolicyInputs{VDEBSOC: low, MicroSOC: low, VisiblePeak: true}, core.Level3, core.Level3},
+		{"010 only uDEB", core.PolicyInputs{VDEBSOC: low, MicroSOC: full}, core.Level2, core.Level2},
+		{"011 only uDEB, peak", core.PolicyInputs{VDEBSOC: low, MicroSOC: full, VisiblePeak: true}, core.Level3, core.Level3},
+		{"100 only vDEB", core.PolicyInputs{VDEBSOC: full, MicroSOC: low}, core.Level1, core.Level2},
+		{"101 only vDEB, peak", core.PolicyInputs{VDEBSOC: full, MicroSOC: low, VisiblePeak: true}, core.Level1, core.Level2},
+		{"110 both full", core.PolicyInputs{VDEBSOC: full, MicroSOC: full}, core.Level1, core.Level1},
+		{"111 both full, peak", core.PolicyInputs{VDEBSOC: full, MicroSOC: full, VisiblePeak: true}, core.Level1, core.Level1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := core.NewPolicy(false, tc.in).Level(); got != tc.lax {
+				t.Errorf("lax: %v, want %v", got, tc.lax)
+			}
+			if got := core.NewPolicy(true, tc.in).Level(); got != tc.strict {
+				t.Errorf("strict: %v, want %v", got, tc.strict)
+			}
+		})
+	}
+}

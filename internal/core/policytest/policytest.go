@@ -1,0 +1,71 @@
+// Package policytest exports the canonical security-policy transition
+// timeline: a table of inputs and expected levels that walks every
+// Figure-9 edge (L1→L2, L2→L3, L3→L2, L2→L1, L3→L1) and pins the
+// hysteresis band in between, where the level must hold. It lives in
+// its own package so both the core unit test and the padd online test
+// drive the exact same sequence.
+package policytest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Step is one tick of the canonical timeline.
+type Step struct {
+	// Name says which edge or hold this step exercises.
+	Name string
+	// In is the tick's policy inputs.
+	In core.PolicyInputs
+	// Want is the level after the tick.
+	Want core.Level
+}
+
+// Timeline returns the canonical transition walk. It assumes the
+// default thresholds (empty at SOC ≤ 0.05, recharged above 0.30) and an
+// initial state with both backups full (Level 1 regardless of
+// StrictInitial).
+func Timeline() []Step {
+	full := 0.95
+	mid := 0.20 // inside the hysteresis band: neither empty nor recharged
+	low := 0.02 // empty
+	re := 0.40  // recharged
+	return []Step{
+		// L1 holds while the vDEB pool is merely low, not empty.
+		{"L1 hold (vDEB in band)", core.PolicyInputs{VDEBSOC: mid, MicroSOC: full, VisiblePeak: true}, core.Level1},
+		{"L1 hold (vDEB just above empty)", core.PolicyInputs{VDEBSOC: 0.06, MicroSOC: full}, core.Level1},
+		// L1 → L2: the vDEB pool empties.
+		{"L1→L2 (vDEB empty)", core.PolicyInputs{VDEBSOC: low, MicroSOC: full}, core.Level2},
+		// L2 holds across the hysteresis band: vDEB back above empty but
+		// not yet recharged must NOT bounce to L1.
+		{"L2 hold (vDEB in band)", core.PolicyInputs{VDEBSOC: mid, MicroSOC: full}, core.Level2},
+		{"L2 hold (vDEB at recharge threshold)", core.PolicyInputs{VDEBSOC: 0.30, MicroSOC: full}, core.Level2},
+		// L2 → L1: the vDEB pool recharges past the threshold.
+		{"L2→L1 (vDEB recharged)", core.PolicyInputs{VDEBSOC: re, MicroSOC: full}, core.Level1},
+		// Down again, then deeper: L2 → L3 when the μDEB also empties.
+		{"L1→L2 (vDEB empty again)", core.PolicyInputs{VDEBSOC: low, MicroSOC: full}, core.Level2},
+		{"L2→L3 (μDEB empty)", core.PolicyInputs{VDEBSOC: low, MicroSOC: low}, core.Level3},
+		// L3 holds across the μDEB hysteresis band.
+		{"L3 hold (μDEB in band)", core.PolicyInputs{VDEBSOC: low, MicroSOC: mid}, core.Level3},
+		// L3 → L2: μDEB recharged while the vDEB pool is still down.
+		{"L3→L2 (μDEB recharged, vDEB low)", core.PolicyInputs{VDEBSOC: mid, MicroSOC: re}, core.Level2},
+		// Back to L3, then straight to L1 when both backups recover.
+		{"L2→L3 (μDEB empty again)", core.PolicyInputs{VDEBSOC: low, MicroSOC: low}, core.Level3},
+		{"L3→L1 (both recharged)", core.PolicyInputs{VDEBSOC: re, MicroSOC: re}, core.Level1},
+		// A visible peak alone never changes the level.
+		{"L1 hold (visible peak, backups full)", core.PolicyInputs{VDEBSOC: full, MicroSOC: full, VisiblePeak: true}, core.Level1},
+	}
+}
+
+// Run drives step through the canonical timeline, failing t on the
+// first level that deviates. step is one tick of whatever policy
+// implementation is under test.
+func Run(t testing.TB, step func(core.PolicyInputs) core.Level) {
+	t.Helper()
+	for i, s := range Timeline() {
+		if got := step(s.In); got != s.Want {
+			t.Fatalf("step %d (%s): level %v, want %v", i, s.Name, got, s.Want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package padd
+
+import (
+	"sync"
+	"time"
+)
+
+// Event types recorded in a session's ring-buffered log.
+const (
+	EventCreated  = "created"  // session started
+	EventLevel    = "level"    // security-level transition
+	EventShed     = "shed"     // load shedding engaged, changed, or released
+	EventTrip     = "trip"     // a breaker tripped
+	EventCoast    = "coast"    // wall-clock tick with no telemetry: coasting
+	EventAnomaly  = "anomaly"  // metering CUSUM flagged a power anomaly
+	EventFinished = "finished" // horizon reached or StopOnTrip fired
+)
+
+// Event is one entry in a session's action log.
+type Event struct {
+	// Seq increases by one per event for the session's lifetime, so a
+	// poller can detect entries lost to ring overwrite.
+	Seq uint64 `json:"seq"`
+	// Tick and Offset locate the event on the session's simulated
+	// timeline.
+	Tick   int      `json:"tick"`
+	Offset Duration `json:"offset"`
+	// Wall is the wall-clock time the event was recorded.
+	Wall time.Time `json:"wall"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Detail is a human-readable description ("L1-Normal -> L2-MinorIncident").
+	Detail string `json:"detail"`
+}
+
+// eventRing is a fixed-capacity event log: the newest entries win,
+// overwriting the oldest. Safe for one writer and many readers.
+type eventRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // sequence number of the next event
+}
+
+func newEventRing(capacity int) *eventRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &eventRing{buf: make([]Event, 0, capacity)}
+}
+
+// add appends an event, assigning its sequence number.
+func (r *eventRing) add(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.Seq = r.next
+	r.next++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[int(e.Seq)%cap(r.buf)] = e
+}
+
+// list returns the retained events in chronological order, optionally
+// only those with Seq >= since.
+func (r *eventRing) list(since uint64) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	start := uint64(0)
+	if r.next > uint64(cap(r.buf)) {
+		start = r.next - uint64(cap(r.buf))
+	}
+	if since > start {
+		start = since
+	}
+	for seq := start; seq < r.next; seq++ {
+		out = append(out, r.buf[int(seq)%cap(r.buf)])
+	}
+	return out
+}

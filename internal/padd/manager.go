@@ -1,0 +1,154 @@
+package padd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Manager errors the HTTP layer maps onto status codes.
+var (
+	// ErrShuttingDown means the daemon is draining (503).
+	ErrShuttingDown = errors.New("padd: shutting down")
+	// ErrNotFound means no such session (404).
+	ErrNotFound = errors.New("padd: no such session")
+)
+
+// Manager owns the live sessions. All methods are safe for concurrent
+// use.
+type Manager struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	closed   bool
+	nextID   int
+}
+
+// NewManager creates an empty session manager.
+func NewManager() *Manager {
+	return &Manager{sessions: make(map[string]*Session)}
+}
+
+// Create validates cfg, applies defaults and starts a new session.
+func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	if cfg.ID == "" {
+		m.nextID++
+		cfg.ID = fmt.Sprintf("s%d", m.nextID)
+	}
+	if _, dup := m.sessions[cfg.ID]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("padd: session %q already exists", cfg.ID)
+	}
+	// Reserve the id before the (fallible) construction so a concurrent
+	// Create of the same id fails fast.
+	m.sessions[cfg.ID] = nil
+	m.mu.Unlock()
+
+	s, err := newSession(cfg.ID, cfg)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		delete(m.sessions, cfg.ID)
+		return nil, err
+	}
+	if m.closed {
+		// Shutdown raced the construction; don't leak the goroutine.
+		delete(m.sessions, cfg.ID)
+		m.mu.Unlock()
+		s.Stop()
+		m.mu.Lock()
+		return nil, ErrShuttingDown
+	}
+	m.sessions[cfg.ID] = s
+	return s, nil
+}
+
+// Get returns the named session.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.sessions[id]
+	if !ok || s == nil {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// List returns the live sessions in unspecified order.
+func (m *Manager) List() []*Session {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Delete stops the named session (draining its queue) and removes it.
+func (m *Manager) Delete(id string) (*Session, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if !ok || s == nil {
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	s.Stop()
+	return s, nil
+}
+
+// Healthy reports whether the manager accepts work.
+func (m *Manager) Healthy() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return !m.closed
+}
+
+// Shutdown rejects new work, then stops every session — draining each
+// queue so no acknowledged telemetry is lost — bounded by ctx.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s != nil {
+			ss = append(ss, s)
+		}
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for _, s := range ss {
+			wg.Add(1)
+			go func(s *Session) {
+				defer wg.Done()
+				s.Stop()
+			}(s)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,127 @@
+package padd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// latencyBounds are the tick-latency histogram bucket upper bounds in
+// seconds. A 22×10 cluster steps in single-digit microseconds, so the
+// buckets start fine and stretch to cover a loaded box.
+var latencyBounds = [numLatencyBounds]float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 1,
+}
+
+const numLatencyBounds = 15
+
+// latencyHist is a fixed-bucket histogram of tick latencies. It is
+// written by the session goroutine under the session's snapshot lock
+// and copied out whole for scraping.
+type latencyHist struct {
+	counts [numLatencyBounds + 1]uint64 // +Inf bucket last
+	sum    float64
+	total  uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	s := d.Seconds()
+	h.sum += s
+	h.total++
+	for i, b := range latencyBounds {
+		if s <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(latencyBounds)]++
+}
+
+// WriteMetrics renders the Prometheus text exposition for every live
+// session. Hand-rolled: the container has no client library, and the
+// format is lines of `name{labels} value`.
+func (m *Manager) WriteMetrics(w io.Writer) {
+	sessions := m.List()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID() < sessions[j].ID() })
+
+	fmt.Fprintf(w, "# HELP padd_up Whether the daemon is serving.\n# TYPE padd_up gauge\npadd_up 1\n")
+	fmt.Fprintf(w, "# HELP padd_sessions Number of live sessions.\n# TYPE padd_sessions gauge\npadd_sessions %d\n", len(sessions))
+
+	gauge := func(name, help string, value func(*sessionMetrics) (float64, bool)) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, s := range sessions {
+			sm := s.metrics()
+			if v, ok := value(&sm); ok {
+				fmt.Fprintf(w, "%s{session=%q} %g\n", name, s.ID(), v)
+			}
+		}
+	}
+	counter := func(name, help string, value func(*sessionMetrics) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, s := range sessions {
+			sm := s.metrics()
+			fmt.Fprintf(w, "%s{session=%q} %g\n", name, s.ID(), value(&sm))
+		}
+	}
+	all := func(f func(*sessionMetrics) float64) func(*sessionMetrics) (float64, bool) {
+		return func(sm *sessionMetrics) (float64, bool) { return f(sm), true }
+	}
+
+	gauge("padd_session_soc", "Mean rack battery state of charge in [0,1].",
+		all(func(sm *sessionMetrics) float64 { return sm.MeanSOC }))
+	gauge("padd_session_min_soc", "Lowest rack battery state of charge in [0,1].",
+		all(func(sm *sessionMetrics) float64 { return sm.MinSOC }))
+	gauge("padd_session_micro_soc", "Mean μDEB state of charge in [0,1]; absent without μDEB hardware.",
+		func(sm *sessionMetrics) (float64, bool) { return sm.MeanMicroSOC, sm.MeanMicroSOC >= 0 })
+	gauge("padd_session_level", "PAD security level (1=Normal, 2=MinorIncident, 3=Emergency; 0 when the scheme has none).",
+		all(func(sm *sessionMetrics) float64 { return float64(sm.Level) }))
+	gauge("padd_session_shed_servers", "Servers held in deep sleep on the last tick.",
+		all(func(sm *sessionMetrics) float64 { return float64(sm.ShedServers) }))
+	gauge("padd_session_shed_watts", "Demand power displaced by shedding on the last tick.",
+		all(func(sm *sessionMetrics) float64 { return float64(sm.ShedWatts) }))
+	gauge("padd_session_grid_watts", "Cluster feed draw on the last tick.",
+		all(func(sm *sessionMetrics) float64 { return float64(sm.TotalGrid) }))
+	gauge("padd_session_breaker_margin_watts", "Smallest rated-minus-draw margin across untripped feeds.",
+		all(func(sm *sessionMetrics) float64 { return float64(sm.BreakerMargin) }))
+	gauge("padd_session_queue_depth", "Telemetry batches waiting in the ingest queue.",
+		all(func(sm *sessionMetrics) float64 { return float64(sm.QueueDepth) }))
+	gauge("padd_session_tripped", "1 once any breaker has tripped.",
+		all(func(sm *sessionMetrics) float64 {
+			if sm.Tripped {
+				return 1
+			}
+			return 0
+		}))
+	counter("padd_session_ticks_total", "Control ticks advanced.",
+		func(sm *sessionMetrics) float64 { return float64(sm.Ticks) })
+	counter("padd_session_accepted_samples_total", "Telemetry samples accepted into the queue.",
+		func(sm *sessionMetrics) float64 { return float64(sm.Accepted) })
+	counter("padd_session_rejected_batches_total", "Telemetry batches rejected with 429 backpressure.",
+		func(sm *sessionMetrics) float64 { return float64(sm.Rejected) })
+	counter("padd_session_coast_ticks_total", "Wall-clock ticks advanced on stale demand (late telemetry).",
+		func(sm *sessionMetrics) float64 { return float64(sm.Coasts) })
+	counter("padd_session_discarded_samples_total", "Samples discarded after the session finished.",
+		func(sm *sessionMetrics) float64 { return float64(sm.Discarded) })
+	counter("padd_session_anomalies_total", "Metering intervals the CUSUM detector flagged.",
+		func(sm *sessionMetrics) float64 { return float64(sm.Anomalies) })
+
+	fmt.Fprintf(w, "# HELP padd_tick_latency_seconds Wall time per control tick.\n# TYPE padd_tick_latency_seconds histogram\n")
+	for _, s := range sessions {
+		sm := s.metrics()
+		cum := uint64(0)
+		for i, b := range latencyBounds {
+			cum += sm.Hist.counts[i]
+			fmt.Fprintf(w, "padd_tick_latency_seconds_bucket{session=%q,le=%q} %d\n", s.ID(), formatBound(b), cum)
+		}
+		cum += sm.Hist.counts[len(latencyBounds)]
+		fmt.Fprintf(w, "padd_tick_latency_seconds_bucket{session=%q,le=\"+Inf\"} %d\n", s.ID(), cum)
+		fmt.Fprintf(w, "padd_tick_latency_seconds_sum{session=%q} %g\n", s.ID(), sm.Hist.sum)
+		fmt.Fprintf(w, "padd_tick_latency_seconds_count{session=%q} %d\n", s.ID(), sm.Hist.total)
+	}
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

@@ -1,0 +1,179 @@
+// Package padd is the online PAD defense daemon: it hosts many
+// independent PDU control sessions, each running the paper's defense
+// (vDEB allocation, μDEB shaving, the Figure-9 three-level security
+// policy) against streamed per-server power telemetry instead of a
+// pre-built trace.
+//
+// Architecture:
+//
+//   - A Manager owns the sessions. Each Session is one PDU-scale
+//     control loop: a sim.Stepper (the exact per-tick machine the
+//     offline engine runs) driven by a single goroutine that drains a
+//     bounded telemetry queue. The hot path reuses the engine's
+//     allocation-free scratch machinery; cross-goroutine reads go
+//     through a mutex-guarded snapshot refreshed once per tick.
+//   - Telemetry arrives over HTTP (POST /v1/sessions/{id}/telemetry) as
+//     batches of per-server utilization samples, one sample per tick.
+//     The queue is bounded: when it is full the server answers 429
+//     immediately rather than buffering unboundedly — backpressure is
+//     the client's signal to slow down, and a control loop that falls
+//     behind real time must drop input, not latency.
+//   - Sessions in wall-clock mode tick on real time: when telemetry is
+//     late the session coasts on the last known demand, so batteries,
+//     breakers and the security policy keep advancing.
+//   - Observability: GET /metrics exposes Prometheus-style per-session
+//     gauges (SOC, security level, shed watts, breaker margin, queue
+//     depth) and a tick-latency histogram; GET
+//     /v1/sessions/{id}/events returns the ring-buffered log of level
+//     transitions, shed/trip/coast/anomaly actions.
+//   - Replay: the bridge in replay.go pipes a generated trace through
+//     the real ingest path and compares the resulting actions and
+//     levels against the offline sim.Run — the guarantee that online
+//     and offline agree (cmd/padd -replay, TestReplayMatchesOffline).
+package padd
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("100ms", "1h30m") so session configs stay readable in curl examples.
+type Duration struct{ time.Duration }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.String())
+}
+
+// UnmarshalJSON accepts a Go duration string, or a bare number meaning
+// seconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case string:
+		dur, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("padd: bad duration %q: %w", x, err)
+		}
+		d.Duration = dur
+	case float64:
+		d.Duration = time.Duration(x * float64(time.Second))
+	default:
+		return fmt.Errorf("padd: duration must be a string like \"100ms\" or seconds, got %T", v)
+	}
+	return nil
+}
+
+// SessionConfig describes one PDU session. The zero value of every
+// field selects the paper's seed configuration, so `{}` is a valid
+// session.
+type SessionConfig struct {
+	// ID names the session; it must match [A-Za-z0-9_.-]{1,64}. Empty
+	// lets the manager assign s1, s2, ...
+	ID string `json:"id,omitempty"`
+	// Scheme is the power-management scheme (Conv, PS, PSPC, uDEB,
+	// vDEB, PAD). Empty selects PAD.
+	Scheme string `json:"scheme,omitempty"`
+	// Racks and ServersPerRack shape the cluster. 0 selects 22×10.
+	Racks          int `json:"racks,omitempty"`
+	ServersPerRack int `json:"servers_per_rack,omitempty"`
+	// Tick is the control interval one telemetry sample advances. 0
+	// selects 100ms.
+	Tick Duration `json:"tick,omitempty"`
+	// Horizon bounds the session's simulated lifetime. 0 selects 24h.
+	Horizon Duration `json:"horizon,omitempty"`
+	// Oversubscription is PPDU/(n·Pr); 0 selects 0.75.
+	Oversubscription float64 `json:"oversubscription,omitempty"`
+	// Overshoot is the tolerated overload fraction; 0 selects 0.08.
+	Overshoot float64 `json:"overshoot,omitempty"`
+	// MicroFraction sizes the μDEB banks (uDEB/PAD schemes) as a
+	// fraction of the rack battery energy. 0 selects 0.01.
+	MicroFraction float64 `json:"micro_fraction,omitempty"`
+	// QueueDepth bounds the ingest queue in telemetry batches; a full
+	// queue answers 429. 0 selects 64.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// EventLog is the event ring capacity. 0 selects 512.
+	EventLog int `json:"event_log,omitempty"`
+	// MeterInterval is the power-metering integration interval feeding
+	// the CUSUM anomaly detector. 0 selects 5s; negative disables
+	// metering.
+	MeterInterval Duration `json:"meter_interval,omitempty"`
+	// WallClock ticks the session on real time: when telemetry is late
+	// the session coasts on the last known demand instead of stalling.
+	WallClock bool `json:"wall_clock,omitempty"`
+	// Paused creates the session without processing: telemetry queues
+	// up to QueueDepth (then 429) until POST .../resume. Useful for
+	// priming a queue deterministically.
+	Paused bool `json:"paused,omitempty"`
+	// Record keeps the engine's full time-series recording (replay and
+	// debugging; costs memory proportional to Horizon/RecordStep).
+	Record bool `json:"record,omitempty"`
+	// RecordStep is the recording resolution; 0 selects the tick.
+	RecordStep Duration `json:"record_step,omitempty"`
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.Scheme == "" {
+		c.Scheme = "PAD"
+	}
+	if c.Racks == 0 {
+		c.Racks = 22
+	}
+	if c.ServersPerRack == 0 {
+		c.ServersPerRack = 10
+	}
+	if c.Tick.Duration == 0 {
+		c.Tick.Duration = 100 * time.Millisecond
+	}
+	if c.Horizon.Duration == 0 {
+		c.Horizon.Duration = 24 * time.Hour
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.EventLog == 0 {
+		c.EventLog = 512
+	}
+	if c.MeterInterval.Duration == 0 {
+		c.MeterInterval.Duration = 5 * time.Second
+	}
+	if c.MicroFraction == 0 {
+		c.MicroFraction = 0.01
+	}
+	return c
+}
+
+// Validate reports a configuration error, if any, beyond what
+// sim.Config.Validate covers.
+func (c SessionConfig) Validate() error {
+	if c.ID != "" && !validID(c.ID) {
+		return fmt.Errorf("padd: session id %q must match [A-Za-z0-9_.-]{1,64}", c.ID)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("padd: queue depth must be non-negative, got %d", c.QueueDepth)
+	}
+	if c.EventLog < 0 {
+		return fmt.Errorf("padd: event log capacity must be non-negative, got %d", c.EventLog)
+	}
+	return nil
+}
+
+func validID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

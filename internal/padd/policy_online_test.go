@@ -1,0 +1,177 @@
+package padd_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/policytest"
+	"repro/internal/padd"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/virus"
+)
+
+// legalEdges derives the set of allowed level transitions from the
+// shared canonical timeline, so the online test and the core unit test
+// agree on what Figure 9 permits.
+func legalEdges() map[[2]core.Level]bool {
+	edges := map[[2]core.Level]bool{}
+	last := core.Level1
+	for _, s := range policytest.Timeline() {
+		if s.Want != last {
+			edges[[2]core.Level{last, s.Want}] = true
+			last = s.Want
+		}
+	}
+	return edges
+}
+
+// TestOnlineLevelsMatchOffline drives a scenario hot enough that PAD
+// leaves Level 1 and recovers, and checks three things: the offline
+// engine's level sequence only uses edges the canonical timeline
+// allows, the online session reproduces that sequence exactly, and the
+// session's event log reports each transition.
+func TestOnlineLevelsMatchOffline(t *testing.T) {
+	const (
+		racks    = 22
+		spr      = 10
+		servers  = racks * spr
+		nodes    = 120
+		ratio    = 0.6
+		duration = 4 * time.Minute
+		tick     = 100 * time.Millisecond
+	)
+	bg := stats.NoisyUtilization(servers, 0.7, duration, 10*time.Second, 7)
+	atk, err := virus.New(virus.Config{
+		Profile: virus.CPUIntensive, SpikeWidth: 5 * time.Second, SpikesPerMinute: 6, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked := make([]int, nodes)
+	for i := range attacked {
+		attacked[i] = i
+	}
+	scheme, err := schemes.ByName("PAD", schemes.Options{ServersPerRack: spr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := sim.Config{
+		Racks: racks, ServersPerRack: spr, Duration: duration, Tick: tick,
+		OversubscriptionRatio: ratio,
+		Background:            bg,
+		Attack:                &sim.AttackSpec{Servers: attacked, Attack: atk},
+		MicroDEBFactory:       schemes.MicroDEBFactory(0.01),
+		Record:                true, RecordStep: tick,
+	}
+	st, err := sim.NewStepper(simCfg, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var demand [][]float64
+	for !st.Done() {
+		d := st.ComputeDemand()
+		cp := make([]float64, len(d))
+		copy(cp, d)
+		demand = append(demand, cp)
+		if err := st.Advance(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	offline := st.Result()
+
+	offTrans := transitions(offline.Recording.Levels)
+	if len(offTrans) == 0 {
+		t.Fatal("scenario produced no level transitions; it proves nothing")
+	}
+	edges := legalEdges()
+	for _, e := range offTrans {
+		if !edges[e] {
+			t.Errorf("offline level walk used illegal edge %v -> %v", e[0], e[1])
+		}
+	}
+
+	// Online: same demand through a live session.
+	mgr := padd.NewManager()
+	defer mgr.Shutdown(context.Background())
+	sess, err := mgr.Create(padd.SessionConfig{
+		ID: "policy", Scheme: "PAD", Racks: racks, ServersPerRack: spr,
+		Tick: padd.Duration{Duration: tick}, Horizon: padd.Duration{Duration: duration},
+		Oversubscription: ratio,
+		Record:           true, RecordStep: padd.Duration{Duration: tick},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < len(demand); start += 100 {
+		end := min(start+100, len(demand))
+		for {
+			err := sess.Enqueue(demand[start:end])
+			if err == nil {
+				break
+			}
+			if err != padd.ErrQueueFull {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	online, err := mgr.Delete("policy") // Stop drains the queue first
+	if err != nil {
+		t.Fatal(err)
+	}
+	onRes := online.Result()
+
+	if !reflect.DeepEqual(offline.Recording.Levels, onRes.Recording.Levels) {
+		t.Errorf("online level sequence diverged: offline %d transitions %v, online %v",
+			len(offTrans), offTrans, transitions(onRes.Recording.Levels))
+	}
+
+	// The event log must narrate the same walk.
+	var logged [][2]core.Level
+	for _, e := range online.Events(0) {
+		if e.Type != padd.EventLevel {
+			continue
+		}
+		// "initial level L1-Normal" doesn't parse as a transition and is
+		// skipped; "L1-Normal -> L2-MinorIncident" does.
+		var from, to core.Level
+		if parseTransition(e.Detail, &from, &to) {
+			logged = append(logged, [2]core.Level{from, to})
+		}
+	}
+	if !reflect.DeepEqual(logged, offTrans) {
+		t.Errorf("event log transitions %v, want %v", logged, offTrans)
+	}
+}
+
+func transitions(levels []core.Level) [][2]core.Level {
+	var out [][2]core.Level
+	if len(levels) == 0 {
+		return out
+	}
+	last := levels[0]
+	for _, l := range levels[1:] {
+		if l != last {
+			out = append(out, [2]core.Level{last, l})
+			last = l
+		}
+	}
+	return out
+}
+
+// parseTransition decodes "L1-Normal -> L2-MinorIncident" details.
+func parseTransition(detail string, from, to *core.Level) bool {
+	var f, t int
+	var fName, tName string
+	if n, _ := fmt.Sscanf(detail, "L%d-%s -> L%d-%s", &f, &fName, &t, &tName); n == 4 {
+		*from, *to = core.Level(f), core.Level(t)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,371 @@
+package padd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"time"
+
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/virus"
+)
+
+// ReplayConfig drives an online/offline equivalence check: the same
+// closed-loop demand is run through the offline engine and streamed
+// over HTTP into a live session, and the two recordings are compared
+// tick for tick.
+type ReplayConfig struct {
+	// Schemes to replay; empty means all six.
+	Schemes []string
+	// Cluster shape and horizon. Zero values take the seed defaults
+	// (22 racks × 10 servers) with a short horizon.
+	Racks          int
+	ServersPerRack int
+	Duration       time.Duration
+	Tick           time.Duration
+	// Seed feeds the background load and the power virus.
+	Seed uint64
+	// BGMean is the mean background utilization.
+	BGMean float64
+	// AttackNodes is the number of compromised servers (0 disables the
+	// virus, which makes the replay trivially calm).
+	AttackNodes int
+	// BatchSize is the number of ticks per telemetry POST.
+	BatchSize int
+	// Log, when set, receives one progress line per scheme.
+	Log io.Writer
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if len(c.Schemes) == 0 {
+		c.Schemes = schemes.SchemeNames
+	}
+	if c.Racks == 0 {
+		c.Racks = 22
+	}
+	if c.ServersPerRack == 0 {
+		c.ServersPerRack = 10
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Minute
+	}
+	if c.Tick == 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.BGMean == 0 {
+		c.BGMean = 0.35
+	}
+	if c.AttackNodes == 0 {
+		c.AttackNodes = 24
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 50
+	}
+	return c
+}
+
+// SchemeReplay is one scheme's replay outcome.
+type SchemeReplay struct {
+	Scheme     string
+	Ticks      int
+	Tripped    bool
+	Mismatches []string
+}
+
+// OK reports whether the online run reproduced the offline run exactly.
+func (r SchemeReplay) OK() bool { return len(r.Mismatches) == 0 }
+
+// ReplayReport collects every scheme's outcome.
+type ReplayReport struct {
+	Schemes []SchemeReplay
+}
+
+// OK reports whether every scheme replayed exactly.
+func (r *ReplayReport) OK() bool {
+	for _, s := range r.Schemes {
+		if !s.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Replay proves online/offline agreement. For each scheme it runs the
+// offline engine manually — capturing each tick's closed-loop demand
+// (background plus power virus, with the virus observing the capped
+// frequencies the defense granted) — then boots a daemon on a loopback
+// listener, streams those exact demand ticks through the HTTP ingest
+// path, and deep-compares the two results and recordings. AttackUtil is
+// excluded (the online engine hosts no virus, so it records zero) and
+// Key is excluded (it names the run, not the physics); everything else
+// must match bit for bit.
+func Replay(cfg ReplayConfig) (*ReplayReport, error) {
+	cfg = cfg.withDefaults()
+	servers := cfg.Racks * cfg.ServersPerRack
+	bg := stats.NoisyUtilization(servers, cfg.BGMean, cfg.Duration, 10*time.Second, cfg.Seed)
+
+	mgr := NewManager()
+	defer mgr.Shutdown(context.Background())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewServer(mgr)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	report := &ReplayReport{}
+	for _, name := range cfg.Schemes {
+		sr, err := replayScheme(cfg, name, bg, mgr, base)
+		if err != nil {
+			return nil, fmt.Errorf("replay %s: %w", name, err)
+		}
+		if cfg.Log != nil {
+			verdict := "match"
+			if !sr.OK() {
+				verdict = fmt.Sprintf("MISMATCH (%d fields)", len(sr.Mismatches))
+			}
+			fmt.Fprintf(cfg.Log, "replay %-4s %6d ticks  tripped=%-5v %s\n",
+				sr.Scheme, sr.Ticks, sr.Tripped, verdict)
+		}
+		report.Schemes = append(report.Schemes, sr)
+	}
+	return report, nil
+}
+
+func replayScheme(cfg ReplayConfig, name string, bg []*stats.Series, mgr *Manager, base string) (SchemeReplay, error) {
+	sr := SchemeReplay{Scheme: name}
+
+	// Offline pass: manual stepping so each tick's demand can be kept.
+	offline, demand, err := runOffline(cfg, name, bg)
+	if err != nil {
+		return sr, err
+	}
+	sr.Ticks = len(demand)
+	sr.Tripped = offline.Tripped
+
+	// Online pass: the same demand, through the daemon's front door.
+	online, err := runOnline(cfg, name, demand, mgr, base)
+	if err != nil {
+		return sr, err
+	}
+
+	sr.Mismatches = compareResults(offline, online)
+	return sr, nil
+}
+
+// runOffline reproduces sim.Run by hand, copying each tick's demand.
+func runOffline(cfg ReplayConfig, name string, bg []*stats.Series) (*sim.Result, [][]float64, error) {
+	scheme, err := schemes.ByName(name, schemes.Options{ServersPerRack: cfg.ServersPerRack})
+	if err != nil {
+		return nil, nil, err
+	}
+	simCfg := sim.Config{
+		Key:            "replay/offline/" + name,
+		Racks:          cfg.Racks,
+		ServersPerRack: cfg.ServersPerRack,
+		Duration:       cfg.Duration,
+		Tick:           cfg.Tick,
+		Background:     bg,
+		Record:         true,
+		RecordStep:     cfg.Tick,
+	}
+	if schemes.NeedsMicroDEB(name) {
+		simCfg.MicroDEBFactory = schemes.MicroDEBFactory(0.01)
+	}
+	if cfg.AttackNodes > 0 {
+		atk, err := virus.New(virus.Config{
+			Profile:         virus.CPUIntensive,
+			SpikeWidth:      10 * time.Second,
+			SpikesPerMinute: 3,
+			Seed:            cfg.Seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		nodes := make([]int, cfg.AttackNodes)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		simCfg.Attack = &sim.AttackSpec{Servers: nodes, Attack: atk}
+	}
+	st, err := sim.NewStepper(simCfg, scheme)
+	if err != nil {
+		return nil, nil, err
+	}
+	var demand [][]float64
+	for !st.Done() {
+		d := st.ComputeDemand()
+		cp := make([]float64, len(d))
+		copy(cp, d)
+		demand = append(demand, cp)
+		if err := st.Advance(d); err != nil {
+			return nil, nil, err
+		}
+	}
+	return st.Result(), demand, nil
+}
+
+// runOnline creates a recording session over HTTP, streams the demand
+// ticks as telemetry batches (retrying on 429 backpressure), waits for
+// the horizon, and collects the result.
+func runOnline(cfg ReplayConfig, name string, demand [][]float64, mgr *Manager, base string) (*sim.Result, error) {
+	id := "replay-" + name
+	create := SessionConfig{
+		ID:             id,
+		Scheme:         name,
+		Racks:          cfg.Racks,
+		ServersPerRack: cfg.ServersPerRack,
+		Tick:           Duration{cfg.Tick},
+		Horizon:        Duration{cfg.Duration},
+		Record:         true,
+		RecordStep:     Duration{cfg.Tick},
+	}
+	if code, body, err := postJSON(base+"/v1/sessions", create); err != nil {
+		return nil, err
+	} else if code != http.StatusCreated {
+		return nil, fmt.Errorf("create session: HTTP %d: %s", code, body)
+	}
+
+	for start := 0; start < len(demand); start += cfg.BatchSize {
+		end := start + cfg.BatchSize
+		if end > len(demand) {
+			end = len(demand)
+		}
+		var req TelemetryRequest
+		for _, u := range demand[start:end] {
+			req.Samples = append(req.Samples, TelemetrySample{U: u})
+		}
+		for {
+			code, body, err := postJSON(base+"/v1/sessions/"+id+"/telemetry", req)
+			if err != nil {
+				return nil, err
+			}
+			if code == http.StatusAccepted {
+				break
+			}
+			if code == http.StatusTooManyRequests {
+				// Bounded queue doing its job; let the session drain.
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			return nil, fmt.Errorf("telemetry: HTTP %d: %s", code, body)
+		}
+	}
+
+	sess, err := mgr.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !sess.metrics().Finished {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("session %s did not finish: %d/%d ticks",
+				id, sess.metrics().Ticks, len(demand))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := mgr.Delete(id); err != nil {
+		return nil, err
+	}
+	return sess.Result(), nil
+}
+
+func postJSON(url string, v any) (int, string, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return resp.StatusCode, string(bytes.TrimSpace(out)), nil
+}
+
+// compareResults deep-compares two runs field by field, excluding Key
+// (names the run) and Recording.AttackUtil (the online engine hosts no
+// virus, so it records zero where the offline engine recorded the
+// commanded utilization).
+func compareResults(off, on *sim.Result) []string {
+	var bad []string
+	mismatch := func(field string, a, b any) {
+		bad = append(bad, fmt.Sprintf("%s: offline %v, online %v", field, a, b))
+	}
+	if off.Scheme != on.Scheme {
+		mismatch("Scheme", off.Scheme, on.Scheme)
+	}
+	if off.Tripped != on.Tripped {
+		mismatch("Tripped", off.Tripped, on.Tripped)
+	}
+	if off.SurvivalTime != on.SurvivalTime {
+		mismatch("SurvivalTime", off.SurvivalTime, on.SurvivalTime)
+	}
+	if off.FirstTripRack != on.FirstTripRack {
+		mismatch("FirstTripRack", off.FirstTripRack, on.FirstTripRack)
+	}
+	if off.EffectiveAttacks != on.EffectiveAttacks {
+		mismatch("EffectiveAttacks", off.EffectiveAttacks, on.EffectiveAttacks)
+	}
+	if off.Throughput != on.Throughput {
+		mismatch("Throughput", off.Throughput, on.Throughput)
+	}
+	if off.MeanShedRatio != on.MeanShedRatio {
+		mismatch("MeanShedRatio", off.MeanShedRatio, on.MeanShedRatio)
+	}
+	if off.EnergyFromBatteries != on.EnergyFromBatteries {
+		mismatch("EnergyFromBatteries", off.EnergyFromBatteries, on.EnergyFromBatteries)
+	}
+	if off.MaxRackDischarge != on.MaxRackDischarge {
+		mismatch("MaxRackDischarge", off.MaxRackDischarge, on.MaxRackDischarge)
+	}
+	if off.EnergyServed != on.EnergyServed {
+		mismatch("EnergyServed", off.EnergyServed, on.EnergyServed)
+	}
+	if off.EnergyFromGrid != on.EnergyFromGrid {
+		mismatch("EnergyFromGrid", off.EnergyFromGrid, on.EnergyFromGrid)
+	}
+	if off.EnergyIntoStorage != on.EnergyIntoStorage {
+		mismatch("EnergyIntoStorage", off.EnergyIntoStorage, on.EnergyIntoStorage)
+	}
+	if off.EnergyFromMicro != on.EnergyFromMicro {
+		mismatch("EnergyFromMicro", off.EnergyFromMicro, on.EnergyFromMicro)
+	}
+	switch {
+	case off.Recording == nil || on.Recording == nil:
+		if (off.Recording == nil) != (on.Recording == nil) {
+			mismatch("Recording", off.Recording != nil, on.Recording != nil)
+		}
+	default:
+		a, b := *off.Recording, *on.Recording
+		a.AttackUtil, b.AttackUtil = nil, nil
+		if a.Step != b.Step {
+			mismatch("Recording.Step", a.Step, b.Step)
+		}
+		deep := func(field string, x, y any) {
+			if !reflect.DeepEqual(x, y) {
+				bad = append(bad, field+": series differ")
+			}
+		}
+		deep("Recording.TotalGrid", a.TotalGrid, b.TotalGrid)
+		deep("Recording.RackSOC", a.RackSOC, b.RackSOC)
+		deep("Recording.RackDraw", a.RackDraw, b.RackDraw)
+		deep("Recording.MicroSOC", a.MicroSOC, b.MicroSOC)
+		deep("Recording.Levels", a.Levels, b.Levels)
+		deep("Recording.ShedRatio", a.ShedRatio, b.ShedRatio)
+	}
+	return bad
+}

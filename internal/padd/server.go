@@ -1,0 +1,289 @@
+package padd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// maxBodyBytes bounds a request body; a full-scale 220-server batch of
+// a few hundred samples fits comfortably.
+const maxBodyBytes = 32 << 20
+
+// Server is the daemon's HTTP API:
+//
+//	GET    /healthz                      liveness (503 while draining)
+//	GET    /metrics                      Prometheus text exposition
+//	POST   /v1/sessions                  create a session (SessionConfig JSON)
+//	GET    /v1/sessions                  list session statuses
+//	GET    /v1/sessions/{id}             one session's status
+//	DELETE /v1/sessions/{id}             stop (drain) and remove a session
+//	POST   /v1/sessions/{id}/telemetry   ingest telemetry (202; 429 on full queue)
+//	POST   /v1/sessions/{id}/resume      release a paused session
+//	GET    /v1/sessions/{id}/events      ring-buffered action log (?since=N)
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the API around a manager.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/resume", s.handleResume)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SessionStatus is the JSON view of one session.
+type SessionStatus struct {
+	ID       string   `json:"id"`
+	Scheme   string   `json:"scheme"`
+	Racks    int      `json:"racks"`
+	Servers  int      `json:"servers"`
+	Tick     Duration `json:"tick"`
+	Horizon  Duration `json:"horizon"`
+	WallClock bool    `json:"wall_clock,omitempty"`
+
+	Ticks    int64    `json:"ticks"`
+	Offset   Duration `json:"offset"`
+	Finished bool     `json:"finished"`
+
+	Level         int     `json:"level"`
+	LevelName     string  `json:"level_name,omitempty"`
+	MeanSOC       float64 `json:"mean_soc"`
+	MinSOC        float64 `json:"min_soc"`
+	MeanMicroSOC  float64 `json:"mean_micro_soc"`
+	GridWatts     float64 `json:"grid_watts"`
+	ShedServers   int     `json:"shed_servers"`
+	ShedWatts     float64 `json:"shed_watts"`
+	BreakerMargin float64 `json:"breaker_margin_watts"`
+	Tripped       bool    `json:"tripped"`
+
+	QueueDepth int   `json:"queue_depth"`
+	QueueCap   int   `json:"queue_cap"`
+	Accepted   int64 `json:"accepted_samples"`
+	Rejected   int64 `json:"rejected_batches"`
+	Coasts     int64 `json:"coast_ticks"`
+	Discarded  int64 `json:"discarded_samples"`
+	Anomalies  int64 `json:"anomalies"`
+}
+
+func statusOf(s *Session) SessionStatus {
+	cfg := s.Config()
+	sm := s.metrics()
+	st := SessionStatus{
+		ID:        s.ID(),
+		Scheme:    cfg.Scheme,
+		Racks:     cfg.Racks,
+		Servers:   s.st.TotalServers(),
+		Tick:      cfg.Tick,
+		Horizon:   cfg.Horizon,
+		WallClock: cfg.WallClock,
+
+		Ticks:    sm.Ticks,
+		Offset:   Duration{sm.Now},
+		Finished: sm.Finished,
+
+		Level:         int(sm.Level),
+		MeanSOC:       sm.MeanSOC,
+		MinSOC:        sm.MinSOC,
+		MeanMicroSOC:  sm.MeanMicroSOC,
+		GridWatts:     float64(sm.TotalGrid),
+		ShedServers:   sm.ShedServers,
+		ShedWatts:     float64(sm.ShedWatts),
+		BreakerMargin: float64(sm.BreakerMargin),
+		Tripped:       sm.Tripped,
+
+		QueueDepth: sm.QueueDepth,
+		QueueCap:   cfg.QueueDepth,
+		Accepted:   sm.Accepted,
+		Rejected:   sm.Rejected,
+		Coasts:     sm.Coasts,
+		Discarded:  sm.Discarded,
+		Anomalies:  sm.Anomalies,
+	}
+	if sm.Level != 0 {
+		st.LevelName = sm.Level.String()
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.mgr.Healthy() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.mgr.WriteMetrics(w)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var cfg SessionConfig
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad session config: %w", err))
+		return
+	}
+	sess, err := s.mgr.Create(cfg)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrShuttingDown):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default:
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, statusOf(sess))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	sessions := s.mgr.List()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID() < sessions[j].ID() })
+	out := make([]SessionStatus, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, statusOf(sess))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *Session {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return nil
+	}
+	return sess
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if sess := s.session(w, r); sess != nil {
+		writeJSON(w, http.StatusOK, statusOf(sess))
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Delete(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	res := sess.Result()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":                s.sessionID(sess),
+		"ticks":             sess.metrics().Ticks,
+		"tripped":           res.Tripped,
+		"survival":          Duration{res.SurvivalTime},
+		"effective_attacks": res.EffectiveAttacks,
+		"throughput":        res.Throughput,
+		"mean_shed_ratio":   res.MeanShedRatio,
+	})
+}
+
+func (s *Server) sessionID(sess *Session) string { return sess.ID() }
+
+// TelemetryRequest is the ingest payload: consecutive samples, each one
+// control tick of per-server utilization in [0, 1].
+type TelemetryRequest struct {
+	Samples []TelemetrySample `json:"samples"`
+}
+
+// TelemetrySample is one tick of per-server utilization.
+type TelemetrySample struct {
+	U []float64 `json:"u"`
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req TelemetryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad telemetry: %w", err))
+		return
+	}
+	if len(req.Samples) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("telemetry batch has no samples"))
+		return
+	}
+	samples := make([][]float64, len(req.Samples))
+	for i := range req.Samples {
+		samples[i] = req.Samples[i].U
+	}
+	if err := sess.Enqueue(samples); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			// Explicit backpressure: the queue is bounded and the
+			// client owns the retry. Never buffer unboundedly.
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrStopping):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default:
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"accepted":    len(samples),
+		"queue_depth": len(sess.inbox),
+	})
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if sess := s.session(w, r); sess != nil {
+		sess.Resume()
+		writeJSON(w, http.StatusOK, map[string]string{"status": "running"})
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	since := uint64(0)
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
+			return
+		}
+		since = v
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": sess.Events(since)})
+}

@@ -1,0 +1,417 @@
+package padd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metering"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Enqueue errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is backpressure: the bounded ingest queue is full
+	// and the caller must retry later (429).
+	ErrQueueFull = errors.New("padd: telemetry queue full")
+	// ErrStopping means the session is draining for shutdown (503).
+	ErrStopping = errors.New("padd: session stopping")
+)
+
+// telemetryBatch is one accepted ingest unit: consecutive per-server
+// utilization samples, one per control tick.
+type telemetryBatch struct {
+	samples [][]float64
+}
+
+// sessionMetrics is the cross-goroutine snapshot of a session's state,
+// refreshed by the session goroutine once per tick and copied out whole
+// by scrapers.
+type sessionMetrics struct {
+	Ticks         int64
+	Now           time.Duration
+	Level         core.Level
+	MeanSOC       float64
+	MinSOC        float64
+	MeanMicroSOC  float64
+	TotalGrid     units.Watts
+	ShedWatts     units.Watts
+	BreakerMargin units.Watts
+	ShedServers   int
+	Tripped       bool
+	Finished      bool
+	Coasts        int64
+	Discarded     int64
+	Anomalies     int64
+	Hist          latencyHist
+
+	// Filled in by metrics() from atomics / channel state.
+	Accepted   int64
+	Rejected   int64
+	QueueDepth int
+}
+
+// Session is one online PDU control loop: a sim.Stepper owned by a
+// single goroutine, fed from a bounded telemetry queue. All engine
+// state is goroutine-confined; the outside world sees the mutex-guarded
+// snapshot, the event ring and the atomic ingest counters.
+type Session struct {
+	id     string
+	cfg    SessionConfig
+	scheme sim.Scheme
+	st     *sim.Stepper
+
+	inbox chan telemetryBatch
+	quit  chan struct{}
+	done  chan struct{}
+
+	enqMu    sync.Mutex
+	stopping bool
+
+	resumeCh   chan struct{}
+	resumeOnce sync.Once
+	stopOnce   sync.Once
+
+	accepted atomic.Int64
+	rejected atomic.Int64
+
+	events *eventRing
+
+	mu   sync.Mutex
+	snap sessionMetrics
+
+	// Session-goroutine state (never touched by other goroutines).
+	meter     *metering.Meter
+	cusum     *metering.CUSUMDetector
+	lastU     []float64
+	haveU     bool
+	lastLevel core.Level
+	lastShed  int
+	tripSeen  bool
+	finished  bool
+	coasting  bool
+	coasts    int64
+	discarded int64
+	anomalies int64
+}
+
+// newSession builds and starts a session. cfg must already have
+// defaults applied and be validated.
+func newSession(id string, cfg SessionConfig) (*Session, error) {
+	scheme, err := schemes.ByName(cfg.Scheme, schemes.Options{ServersPerRack: cfg.ServersPerRack})
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.Config{
+		Key:                   "padd/" + id,
+		Racks:                 cfg.Racks,
+		ServersPerRack:        cfg.ServersPerRack,
+		Tick:                  cfg.Tick.Duration,
+		Duration:              cfg.Horizon.Duration,
+		OversubscriptionRatio: cfg.Oversubscription,
+		OvershootTolerance:    cfg.Overshoot,
+		Record:                cfg.Record,
+		RecordStep:            cfg.RecordStep.Duration,
+	}
+	if schemes.NeedsMicroDEB(cfg.Scheme) {
+		simCfg.MicroDEBFactory = schemes.MicroDEBFactory(cfg.MicroFraction)
+	}
+	if cfg.Record {
+		step := cfg.RecordStep.Duration
+		if step == 0 {
+			step = cfg.Tick.Duration
+		}
+		if points := cfg.Horizon.Duration / step; points > 2_000_000 {
+			return nil, fmt.Errorf("padd: recording %d points; shorten horizon or raise record_step", points)
+		}
+	}
+	st, err := sim.NewStepper(simCfg, scheme)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		id:       id,
+		cfg:      cfg,
+		scheme:   scheme,
+		st:       st,
+		inbox:    make(chan telemetryBatch, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		resumeCh: make(chan struct{}),
+		events:   newEventRing(cfg.EventLog),
+		lastU:    make([]float64, st.TotalServers()),
+	}
+	if cfg.MeterInterval.Duration > 0 {
+		m, err := metering.NewMeter(cfg.MeterInterval.Duration, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		s.meter = m
+		s.cusum = metering.NewCUSUMDetector(0)
+	}
+	s.snap.MinSOC = 1
+	s.snap.MeanSOC = 1
+	s.snap.MeanMicroSOC = -1
+	s.event(EventCreated, fmt.Sprintf("scheme %s, %d servers, tick %v",
+		scheme.Name(), st.TotalServers(), st.Tick()))
+	go s.run()
+	return s, nil
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Config returns the session's (defaulted) configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// Enqueue validates a batch of per-server utilization samples and
+// offers it to the bounded ingest queue without blocking. Values are
+// clamped to [0, 1] in place; non-finite values are rejected outright.
+// A full queue returns ErrQueueFull — the 429 signal — and a stopping
+// session returns ErrStopping.
+func (s *Session) Enqueue(samples [][]float64) error {
+	want := s.st.TotalServers()
+	for i, u := range samples {
+		if len(u) != want {
+			return fmt.Errorf("padd: sample %d has %d entries for %d servers", i, len(u), want)
+		}
+		for j, v := range u {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("padd: sample %d server %d: non-finite utilization", i, j)
+			}
+			if v < 0 {
+				u[j] = 0
+			} else if v > 1 {
+				u[j] = 1
+			}
+		}
+	}
+	s.enqMu.Lock()
+	defer s.enqMu.Unlock()
+	if s.stopping {
+		return ErrStopping
+	}
+	select {
+	case s.inbox <- telemetryBatch{samples: samples}:
+		s.accepted.Add(int64(len(samples)))
+		return nil
+	default:
+		s.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Resume releases a session created with Paused. Idempotent; a no-op
+// for sessions that were never paused.
+func (s *Session) Resume() {
+	s.resumeOnce.Do(func() { close(s.resumeCh) })
+}
+
+// Stop drains the queued telemetry, stops the control goroutine and
+// waits for it to exit. Idempotent; safe to call concurrently.
+func (s *Session) Stop() {
+	s.enqMu.Lock()
+	s.stopping = true
+	s.enqMu.Unlock()
+	s.stopOnce.Do(func() { close(s.quit) })
+	<-s.done
+}
+
+// Result finalizes and returns the run result so far. It must only be
+// called after Stop — the stepper is goroutine-confined while the
+// session runs.
+func (s *Session) Result() *sim.Result {
+	select {
+	case <-s.done:
+	default:
+		panic("padd: Session.Result before Stop")
+	}
+	return s.st.Result()
+}
+
+// Events returns the retained event log, oldest first, skipping
+// entries below since.
+func (s *Session) Events(since uint64) []Event { return s.events.list(since) }
+
+// metrics copies out the cross-goroutine snapshot.
+func (s *Session) metrics() sessionMetrics {
+	s.mu.Lock()
+	sm := s.snap
+	s.mu.Unlock()
+	sm.Accepted = s.accepted.Load()
+	sm.Rejected = s.rejected.Load()
+	sm.QueueDepth = len(s.inbox)
+	return sm
+}
+
+// run is the session goroutine: the only goroutine that touches the
+// stepper, the scheme, the meter and the event-producing state.
+func (s *Session) run() {
+	defer close(s.done)
+	var tickC <-chan time.Time
+	if s.cfg.WallClock {
+		t := time.NewTicker(s.st.Tick())
+		defer t.Stop()
+		tickC = t.C
+	}
+	if s.cfg.Paused {
+		select {
+		case <-s.resumeCh:
+		case <-s.quit:
+			s.drain()
+			return
+		}
+	}
+	for {
+		select {
+		case <-s.quit:
+			s.drain()
+			return
+		case b := <-s.inbox:
+			s.process(b)
+		case <-tickC:
+			// Telemetry waiting takes priority; with none, coast one
+			// tick on the last known demand so batteries, breakers and
+			// the security policy keep tracking real time.
+			select {
+			case b := <-s.inbox:
+				s.process(b)
+			default:
+				s.coast()
+			}
+		}
+	}
+}
+
+// drain processes everything already accepted into the queue, so no
+// acknowledged telemetry is lost on shutdown.
+func (s *Session) drain() {
+	for {
+		select {
+		case b := <-s.inbox:
+			s.process(b)
+		default:
+			return
+		}
+	}
+}
+
+func (s *Session) process(b telemetryBatch) {
+	for i, u := range b.samples {
+		if s.st.Done() {
+			s.discarded += int64(len(b.samples) - i)
+			s.publish(0)
+			return
+		}
+		copy(s.lastU, u)
+		s.haveU = true
+		s.coasting = false
+		s.step(u)
+	}
+}
+
+// coast advances one tick on the last known demand (idle until the
+// first telemetry arrives). Only the first coast of a gap is logged.
+func (s *Session) coast() {
+	if s.st.Done() {
+		return
+	}
+	if !s.coasting {
+		s.event(EventCoast, fmt.Sprintf("telemetry late at tick %d; coasting on last known demand", s.st.Ticks()))
+		s.coasting = true
+	}
+	s.coasts++
+	s.step(s.lastU)
+}
+
+// step advances the engine one tick and refreshes events, metering and
+// the published snapshot.
+func (s *Session) step(u []float64) {
+	start := time.Now()
+	err := s.st.Advance(u)
+	elapsed := time.Since(start)
+	if err != nil {
+		// Unreachable through the validated ingest path; surface it
+		// rather than hide it.
+		s.event(EventFinished, "advance error: "+err.Error())
+		return
+	}
+	ts := s.st.Stats()
+
+	if ts.Level != s.lastLevel {
+		if s.lastLevel == 0 {
+			s.event(EventLevel, fmt.Sprintf("initial level %v", ts.Level))
+		} else {
+			s.event(EventLevel, fmt.Sprintf("%v -> %v", s.lastLevel, ts.Level))
+		}
+		s.lastLevel = ts.Level
+	}
+	if (ts.ShedServers > 0) != (s.lastShed > 0) {
+		if ts.ShedServers > 0 {
+			s.event(EventShed, fmt.Sprintf("shedding engaged: %d servers, %.0f W displaced",
+				ts.ShedServers, float64(ts.ShedWatts)))
+		} else {
+			s.event(EventShed, "shedding released")
+		}
+	}
+	s.lastShed = ts.ShedServers
+	if ts.Tripped && !s.tripSeen {
+		s.tripSeen = true
+		s.event(EventTrip, "breaker tripped")
+	}
+	if s.meter != nil {
+		for _, r := range s.meter.Record(ts.TotalGrid, s.st.Tick()) {
+			if s.cusum.Observe(r) {
+				s.anomalies++
+				s.event(EventAnomaly, fmt.Sprintf("CUSUM flagged interval at %v: %.0f W vs baseline %.0f W",
+					r.Start, float64(r.Avg), float64(s.cusum.Baseline())))
+			}
+		}
+	}
+	if s.st.Done() && !s.finished {
+		s.finished = true
+		s.event(EventFinished, fmt.Sprintf("horizon reached after %d ticks", ts.Ticks))
+	}
+	s.publish(elapsed)
+}
+
+// publish refreshes the cross-goroutine snapshot.
+func (s *Session) publish(elapsed time.Duration) {
+	ts := s.st.Stats()
+	s.mu.Lock()
+	s.snap.Ticks = int64(ts.Ticks)
+	s.snap.Now = ts.Now
+	s.snap.Level = ts.Level
+	s.snap.MeanSOC = ts.MeanSOC
+	s.snap.MinSOC = ts.MinSOC
+	s.snap.MeanMicroSOC = ts.MeanMicroSOC
+	s.snap.TotalGrid = ts.TotalGrid
+	s.snap.ShedWatts = ts.ShedWatts
+	s.snap.BreakerMargin = ts.BreakerMargin
+	s.snap.ShedServers = ts.ShedServers
+	s.snap.Tripped = ts.Tripped
+	s.snap.Finished = s.finished
+	s.snap.Coasts = s.coasts
+	s.snap.Discarded = s.discarded
+	s.snap.Anomalies = s.anomalies
+	if elapsed > 0 {
+		s.snap.Hist.observe(elapsed)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Session) event(typ, detail string) {
+	s.events.add(Event{
+		Tick:   s.st.Ticks(),
+		Offset: Duration{s.st.Now()},
+		Wall:   time.Now(),
+		Type:   typ,
+		Detail: detail,
+	})
+}

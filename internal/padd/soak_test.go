@@ -1,0 +1,307 @@
+package padd_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/padd"
+)
+
+// soakClient wraps the test server with typed helpers.
+type soakClient struct {
+	t    *testing.T
+	base string
+}
+
+func (c *soakClient) post(path string, v any) (int, []byte) {
+	c.t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+func (c *soakClient) get(path string) (int, []byte) {
+	c.t.Helper()
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+func (c *soakClient) status(id string) padd.SessionStatus {
+	c.t.Helper()
+	code, body := c.get("/v1/sessions/" + id)
+	if code != http.StatusOK {
+		c.t.Fatalf("status %s: HTTP %d: %s", id, code, body)
+	}
+	var st padd.SessionStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		c.t.Fatal(err)
+	}
+	return st
+}
+
+func batchOf(servers, samples int, u float64) padd.TelemetryRequest {
+	var req padd.TelemetryRequest
+	for i := 0; i < samples; i++ {
+		s := make([]float64, servers)
+		for j := range s {
+			s[j] = u
+		}
+		req.Samples = append(req.Samples, padd.TelemetrySample{U: s})
+	}
+	return req
+}
+
+// TestSoakConcurrentSessions drives 32 sessions at once through the
+// HTTP API under deliberately tiny ingest queues, then shuts the
+// manager down and checks the lossless-ingest invariant on every
+// session: each sample acknowledged with 202 became exactly one engine
+// tick (no wall clock, so no coasts; generous horizon, so no discards).
+func TestSoakConcurrentSessions(t *testing.T) {
+	mgr := padd.NewManager()
+	srv := httptest.NewServer(padd.NewServer(mgr))
+	defer srv.Close()
+	c := &soakClient{t: t, base: srv.URL}
+
+	const (
+		nSessions = 32
+		racks     = 3
+		spr       = 4
+		servers   = racks * spr
+		batches   = 25
+		batchLen  = 8
+		total     = batches * batchLen
+	)
+	schemesCycle := []string{"Conv", "PS", "PSPC", "uDEB", "vDEB", "PAD"}
+
+	ids := make([]string, nSessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("soak-%02d", i)
+		cfg := padd.SessionConfig{
+			ID:             ids[i],
+			Scheme:         schemesCycle[i%len(schemesCycle)],
+			Racks:          racks,
+			ServersPerRack: spr,
+			QueueDepth:     4, // tiny on purpose: force 429s under load
+		}
+		if code, body := c.post("/v1/sessions", cfg); code != http.StatusCreated {
+			t.Fatalf("create %s: HTTP %d: %s", ids[i], code, body)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	retries := 0
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			u := 0.2 + 0.6*float64(i)/float64(nSessions)
+			for b := 0; b < batches; b++ {
+				req := batchOf(servers, batchLen, u)
+				for {
+					code, body := c.post("/v1/sessions/"+id+"/telemetry", req)
+					if code == http.StatusAccepted {
+						break
+					}
+					if code != http.StatusTooManyRequests {
+						t.Errorf("%s: HTTP %d: %s", id, code, body)
+						return
+					}
+					mu.Lock()
+					retries++
+					mu.Unlock()
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	t.Logf("soak: %d sessions × %d samples, %d backpressure retries", nSessions, total, retries)
+
+	// Everything acknowledged must be processed: drain on shutdown.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	for _, id := range ids {
+		st := c.status(id)
+		if st.Accepted != total {
+			t.Errorf("%s: accepted %d samples, want %d", id, st.Accepted, total)
+		}
+		if st.Ticks != st.Accepted+st.Coasts-st.Discarded {
+			t.Errorf("%s: %d ticks from %d accepted samples (%d coasts, %d discarded)",
+				id, st.Ticks, st.Accepted, st.Coasts, st.Discarded)
+		}
+		if st.Coasts != 0 {
+			t.Errorf("%s: %d coasts without wall clock", id, st.Coasts)
+		}
+		if st.Discarded != 0 {
+			t.Errorf("%s: %d samples discarded under a 24h horizon", id, st.Discarded)
+		}
+		if st.QueueDepth != 0 {
+			t.Errorf("%s: %d batches left in queue after drain", id, st.QueueDepth)
+		}
+		if st.Level == 0 && st.Scheme == "PAD" {
+			t.Errorf("%s: PAD reported no security level", id)
+		}
+	}
+
+	// Draining flips health and refuses new work.
+	if code, _ := c.get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("healthz after shutdown: HTTP %d, want 503", code)
+	}
+	if code, _ := c.post("/v1/sessions", padd.SessionConfig{}); code != http.StatusServiceUnavailable {
+		t.Errorf("create after shutdown: HTTP %d, want 503", code)
+	}
+}
+
+// TestBackpressure429 pins the backpressure contract deterministically:
+// a paused session's queue fills to exactly QueueDepth batches, the
+// next POST gets 429 with Retry-After, and resuming drains the queue
+// without losing a sample.
+func TestBackpressure429(t *testing.T) {
+	mgr := padd.NewManager()
+	defer mgr.Shutdown(context.Background())
+	srv := httptest.NewServer(padd.NewServer(mgr))
+	defer srv.Close()
+	c := &soakClient{t: t, base: srv.URL}
+
+	cfg := padd.SessionConfig{
+		ID: "bp", Scheme: "PAD", Racks: 2, ServersPerRack: 3,
+		QueueDepth: 2, Paused: true,
+	}
+	if code, body := c.post("/v1/sessions", cfg); code != http.StatusCreated {
+		t.Fatalf("create: HTTP %d: %s", code, body)
+	}
+
+	req := batchOf(6, 5, 0.5)
+	for i := 0; i < 2; i++ {
+		if code, body := c.post("/v1/sessions/bp/telemetry", req); code != http.StatusAccepted {
+			t.Fatalf("fill %d: HTTP %d: %s", i, code, body)
+		}
+	}
+	resp, err := http.Post(c.base+"/v1/sessions/bp/telemetry", "application/json",
+		strings.NewReader(`{"samples":[{"u":[0.5,0.5,0.5,0.5,0.5,0.5]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow POST: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if st := c.status("bp"); st.Rejected != 1 || st.Ticks != 0 {
+		t.Errorf("paused session: rejected=%d ticks=%d, want 1 and 0", st.Rejected, st.Ticks)
+	}
+
+	if code, body := c.post("/v1/sessions/bp/resume", nil); code != http.StatusOK {
+		t.Fatalf("resume: HTTP %d: %s", code, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := c.status("bp"); st.Ticks == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue not drained after resume: %+v", c.status("bp"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Deleting returns the run summary and forgets the session.
+	if code, body := c.get("/v1/sessions/bp/events"); code != http.StatusOK ||
+		!bytes.Contains(body, []byte(`"created"`)) {
+		t.Errorf("events: HTTP %d: %s", code, body)
+	}
+	delReq, _ := http.NewRequest(http.MethodDelete, c.base+"/v1/sessions/bp", nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, delResp.Body)
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: HTTP %d", delResp.StatusCode)
+	}
+	if code, _ := c.get("/v1/sessions/bp"); code != http.StatusNotFound {
+		t.Errorf("status after delete: HTTP %d, want 404", code)
+	}
+}
+
+// TestMetricsExposition checks the Prometheus text format carries every
+// promised per-session signal.
+func TestMetricsExposition(t *testing.T) {
+	mgr := padd.NewManager()
+	defer mgr.Shutdown(context.Background())
+	srv := httptest.NewServer(padd.NewServer(mgr))
+	defer srv.Close()
+	c := &soakClient{t: t, base: srv.URL}
+
+	cfg := padd.SessionConfig{ID: "m1", Scheme: "PAD", Racks: 2, ServersPerRack: 3}
+	if code, body := c.post("/v1/sessions", cfg); code != http.StatusCreated {
+		t.Fatalf("create: HTTP %d: %s", code, body)
+	}
+	if code, body := c.post("/v1/sessions/m1/telemetry", batchOf(6, 20, 0.6)); code != http.StatusAccepted {
+		t.Fatalf("telemetry: HTTP %d: %s", code, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.status("m1").Ticks < 20 {
+		if time.Now().After(deadline) {
+			t.Fatal("session did not process the batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, body := c.get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`padd_sessions 1`,
+		`padd_session_soc{session="m1"}`,
+		`padd_session_min_soc{session="m1"}`,
+		`padd_session_micro_soc{session="m1"}`,
+		`padd_session_level{session="m1"} 1`,
+		`padd_session_shed_servers{session="m1"}`,
+		`padd_session_shed_watts{session="m1"}`,
+		`padd_session_grid_watts{session="m1"}`,
+		`padd_session_breaker_margin_watts{session="m1"}`,
+		`padd_session_queue_depth{session="m1"} 0`,
+		`padd_session_ticks_total{session="m1"} 20`,
+		`padd_session_accepted_samples_total{session="m1"} 20`,
+		`padd_tick_latency_seconds_bucket{session="m1",le="+Inf"} 20`,
+		`padd_tick_latency_seconds_count{session="m1"} 20`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/battery"
@@ -9,7 +8,6 @@ import (
 	"repro/internal/powersim"
 	"repro/internal/stats"
 	"repro/internal/units"
-	"repro/internal/virus"
 )
 
 // LevelReporter is implemented by schemes that maintain a PAD security
@@ -146,6 +144,11 @@ func (b *bgSampler) at(s int) float64 {
 
 // Run executes one simulation and returns its result.
 //
+// Run is a loop over the single-tick Stepper: NewStepper does the
+// setup, each Step advances one interval with trace-derived demand, and
+// Result finalizes. Manual stepping through the same API is guaranteed
+// to produce identical results (pinned by TestRunEqualsManualStepping).
+//
 // The per-tick loop is allocation-free in steady state: every buffer the
 // engine needs (soft limits, draws, the scheme's view and action slices,
 // the shed selector's scratch) is allocated once up front and reused.
@@ -153,401 +156,20 @@ func (b *bgSampler) at(s int) float64 {
 // planning step; plain Plan schemes still work but allocate their own
 // action slice per tick.
 func Run(cfg Config, scheme Scheme) (*Result, error) {
-	if scheme == nil {
-		return nil, fmt.Errorf("sim: scheme is required")
-	}
-	if err := cfg.Validate(); err != nil {
+	st, err := NewStepper(cfg, scheme)
+	if err != nil {
 		return nil, err
 	}
-	cfg = cfg.withDefaults()
-
-	nameplate := cfg.Server.Peak * units.Watts(cfg.ServersPerRack)
-	plan := powersim.OversubscriptionPlan{
-		RackNameplate: nameplate,
-		Racks:         cfg.Racks,
-		Ratio:         cfg.OversubscriptionRatio,
-	}
-	pduBudget := plan.PDUBudget()
-	newBreaker := func(rated units.Watts) *powersim.Breaker {
-		b := powersim.NewBreaker(rated)
-		if cfg.DisableTrips {
-			b.TripHeat = 1e18
-			b.InstantMultiple = 1e18
+	for {
+		ok, err := st.Step()
+		if err != nil {
+			return nil, err
 		}
-		return b
-	}
-	pduBreaker := newBreaker(pduBudget * units.Watts(1+cfg.OvershootTolerance))
-
-	racks := make([]*rack, cfg.Racks)
-	for i := range racks {
-		budget := plan.RackBudget(i)
-		r := &rack{
-			battery: cfg.BatteryFactory(nameplate),
-			breaker: newBreaker(budget * units.Watts(1+cfg.OvershootTolerance)),
-			budget:  budget,
-		}
-		if cfg.MicroDEBFactory != nil {
-			r.micro = cfg.MicroDEBFactory(nameplate, budget)
-		}
-		racks[i] = r
-	}
-
-	totalServers := cfg.Racks * cfg.ServersPerRack
-
-	// Compromised-server index: a per-server flag slice for the demand
-	// loop and the distinct compromised racks for the attacker's
-	// capped-observation scan — no map lookups on the hot path.
-	var compromisedFlag []bool
-	var compromisedRacks []int
-	if cfg.Attack != nil {
-		compromisedFlag = make([]bool, totalServers)
-		rackSeen := make([]bool, cfg.Racks)
-		for _, s := range cfg.Attack.Servers {
-			compromisedFlag[s] = true
-			if r := s / cfg.ServersPerRack; !rackSeen[r] {
-				rackSeen[r] = true
-				compromisedRacks = append(compromisedRacks, r)
-			}
-		}
-	}
-	res := &Result{
-		Key:           cfg.Key,
-		Scheme:        scheme.Name(),
-		SurvivalTime:  cfg.Duration,
-		FirstTripRack: -1,
-	}
-	var rec *Recording
-	recEvery := 1
-	if cfg.Record {
-		rec = newRecording(cfg)
-		recEvery = int(cfg.RecordStep / cfg.Tick)
-		if recEvery < 1 {
-			recEvery = 1
-		}
-	}
-
-	lastFreq := make([]float64, cfg.Racks)
-	for i := range lastFreq {
-		lastFreq[i] = 1
-	}
-
-	// Scratch buffers owned by this run and reused every tick. The views
-	// slice doubles as ClusterView.Racks: the scheme sees it during Plan
-	// only and must not retain it (see the ClusterView contract).
-	views := make([]RackView, cfg.Racks)
-	demandU := make([]float64, totalServers)
-	lastDraws := make([]units.Watts, cfg.Racks)
-	limits := make([]units.Watts, cfg.Racks)
-	draws := make([]units.Watts, cfg.Racks)
-	actsBuf := make([]Action, cfg.Racks)
-	topK := newTopKSelector(cfg.ServersPerRack)
-	bg := newBGSampler(cfg.Background)
-	scratchScheme, hasScratch := scheme.(ScratchPlanner)
-	levelScheme, hasLevel := scheme.(LevelReporter)
-
-	var demandedWork, deliveredWork float64
-	var shedSum float64
-	var pduDown time.Duration
-	ticks := 0
-
-	for now := time.Duration(0); now < cfg.Duration; now += cfg.Tick {
-		ticks++
-
-		// 1. Attacker acts on what it observed last tick.
-		attackU := 0.0
-		if cfg.Attack != nil {
-			capped := false
-			for _, r := range compromisedRacks {
-				if lastFreq[r] < 0.999 {
-					capped = true
-					break
-				}
-			}
-			attackU = cfg.Attack.Attack.Step(cfg.Tick, virus.Observation{Capped: capped})
-		}
-
-		// 2. Per-server utilization demand and per-rack electrical demand
-		// at full frequency.
-		if bg.series != nil {
-			bg.tick(now)
-			for s := 0; s < totalServers; s++ {
-				u := bg.at(s)
-				if compromisedFlag != nil && compromisedFlag[s] && attackU > u {
-					u = attackU
-				}
-				demandU[s] = u
-			}
-		} else {
-			for s := 0; s < totalServers; s++ {
-				u := 0.0
-				if compromisedFlag != nil && compromisedFlag[s] && attackU > u {
-					u = attackU
-				}
-				demandU[s] = u
-			}
-		}
-		for i, r := range racks {
-			var demand units.Watts
-			for s := i * cfg.ServersPerRack; s < (i+1)*cfg.ServersPerRack; s++ {
-				demand += cfg.Server.Power(demandU[s], 1)
-			}
-			views[i] = RackView{
-				Demand:           demand,
-				Budget:           r.budget,
-				BatterySOC:       r.battery.SOC(),
-				BatteryMax:       r.battery.Deliverable(cfg.Tick),
-				BatteryMaxCharge: r.battery.MaxCharge(),
-				MicroSOC:         -1,
-			}
-			if r.micro != nil {
-				views[i].MicroSOC = r.micro.SOC()
-			}
-			views[i].LastDraw = lastDraws[i]
-		}
-		var totalDemand units.Watts
-		for i := range views {
-			totalDemand += views[i].Demand
-		}
-
-		// 3. Scheme decides. ScratchPlanner schemes fill the engine's
-		// reusable action buffer; plain schemes allocate their own.
-		view := ClusterView{
-			Time:        now,
-			Tick:        cfg.Tick,
-			TotalDemand: totalDemand,
-			PDUBudget:   pduBudget,
-			Racks:       views,
-		}
-		var actions []Action
-		if hasScratch {
-			for i := range actsBuf {
-				actsBuf[i] = Action{}
-			}
-			actions = scratchScheme.PlanInto(view, actsBuf)
-		} else {
-			actions = scheme.Plan(view)
-		}
-		if len(actions) != cfg.Racks {
-			return nil, fmt.Errorf("sim: scheme %s returned %d actions for %d racks",
-				scheme.Name(), len(actions), cfg.Racks)
-		}
-
-		// 4a. Resolve soft-limit reassignments: default budgets where the
-		// scheme passed 0, proportional scale-down if the total exceeds
-		// the PDU budget (eq. 2 must keep holding).
-		var budgetSum units.Watts
-		for i, r := range racks {
-			limits[i] = r.budget
-			if actions[i].Budget > 0 {
-				limits[i] = actions[i].Budget
-			}
-			budgetSum += limits[i]
-		}
-		if budgetSum > pduBudget {
-			scale := float64(pduBudget) / float64(budgetSum)
-			for i := range limits {
-				limits[i] = units.Watts(float64(limits[i]) * scale)
-			}
-		}
-
-		// 4b. Apply actions rack by rack.
-		var totalGrid units.Watts
-		for i := range draws {
-			draws[i] = 0
-		}
-		shedCount := 0
-		for i, r := range racks {
-			act := actions[i]
-			freq := act.Freq
-			if freq == 0 {
-				freq = 1
-			}
-			if freq < 0.1 {
-				freq = 0.1
-			}
-			if freq > 1 {
-				freq = 1
-			}
-			lastFreq[i] = freq
-			shed := act.ShedServers
-			if shed < 0 {
-				shed = 0
-			}
-			if shed > cfg.ServersPerRack {
-				shed = cfg.ServersPerRack
-			}
-			shedCount += shed
-
-			// Shed the highest-demand servers first: that is where the
-			// power (and any resident attacker) is.
-			base := i * cfg.ServersPerRack
-			order := topK.mark(demandU[base:base+cfg.ServersPerRack], shed)
-			var power units.Watts
-			for s := 0; s < cfg.ServersPerRack; s++ {
-				u := demandU[base+s]
-				demandedWork += u
-				if order[s] {
-					power += cfg.SleepPower
-					continue
-				}
-				power += cfg.Server.Power(u, freq)
-				deliveredWork += minf(u, freq)
-			}
-
-			// Rack breaker already tripped (non-StopOnTrip mode): the rack
-			// is dark, delivers nothing further, draws nothing. With
-			// RestoreAfter set, the operator eventually resets the feed.
-			if r.breaker.Tripped() && cfg.RestoreAfter > 0 {
-				r.downFor += cfg.Tick
-				if r.downFor >= cfg.RestoreAfter {
-					r.breaker.Reset()
-					r.downFor = 0
-				}
-			}
-			if r.breaker.Tripped() {
-				// Undo this tick's delivered-work credit for the rack.
-				for s := 0; s < cfg.ServersPerRack; s++ {
-					if !order[s] {
-						deliveredWork -= minf(demandU[base+s], freq)
-					}
-				}
-				r.battery.Idle(cfg.Tick)
-				continue
-			}
-
-			res.EnergyServed += power.Energy(cfg.Tick)
-
-			// Battery discharge, then μDEB shaving on the remainder.
-			grid := power
-			if act.Discharge > 0 {
-				got := r.battery.Discharge(units.Min(act.Discharge, power), cfg.Tick)
-				res.EnergyFromBatteries += got.Energy(cfg.Tick)
-				if got > res.MaxRackDischarge {
-					res.MaxRackDischarge = got
-				}
-				grid -= got
-			}
-			var microBefore units.Joules
-			if r.micro != nil {
-				// The ORing conducts when the draw reaches the rack's
-				// overload-protection limit — the μDEB shaves the
-				// dangerous excursion, not routine above-budget draw
-				// (which is the battery pool's job).
-				r.micro.SetThreshold(limits[i] * units.Watts(1+cfg.OvershootTolerance))
-				microBefore = r.micro.ShavedEnergy()
-				grid = r.micro.Shave(grid, cfg.Tick)
-				res.EnergyFromMicro += r.micro.ShavedEnergy() - microBefore
-			}
-			draws[i] = grid
-			totalGrid += grid
-
-			// Battery charging happens in pass 5 from global headroom; a
-			// rack that neither charged nor discharged must still idle.
-			if act.Discharge <= 0 && act.Charge <= 0 {
-				r.battery.Idle(cfg.Tick)
-			}
-		}
-		shedSum += float64(shedCount) / float64(totalServers)
-
-		// 5. Grant charge requests from remaining PDU headroom. Every
-		// battery gets exactly one state-advancing call per tick: racks
-		// that discharged (or are dark) were stepped in pass 4; racks
-		// whose charge request cannot be granted idle instead.
-		headroom := pduBudget - totalGrid
-		for i, r := range racks {
-			act := actions[i]
-			if r.breaker.Tripped() || act.Discharge > 0 {
-				continue
-			}
-			if act.Charge > 0 {
-				if headroom > 0 {
-					got := r.battery.Charge(units.Min(act.Charge, headroom), cfg.Tick)
-					draws[i] += got
-					totalGrid += got
-					headroom -= got
-					res.EnergyIntoStorage += got.Energy(cfg.Tick)
-				} else {
-					r.battery.Idle(cfg.Tick)
-				}
-			}
-			if act.MicroCharge > 0 && r.micro != nil && headroom > 0 {
-				got := r.micro.Recharge(units.Min(act.MicroCharge, headroom), cfg.Tick)
-				draws[i] += got
-				totalGrid += got
-				headroom -= got
-				res.EnergyIntoStorage += got.Energy(cfg.Tick)
-			}
-		}
-
-		copy(lastDraws, draws)
-		res.EnergyFromGrid += totalGrid.Energy(cfg.Tick)
-
-		// 6. Step breakers and count overload events. The rack's overload
-		// protection threshold follows its assigned soft limit, while
-		// effective attacks are counted against the pre-determined default
-		// limit (the paper's fixed "x% overshoot" line).
-		for i, r := range racks {
-			r.breaker.Rated = limits[i] * units.Watts(1+cfg.OvershootTolerance)
-			over := draws[i] > r.budget*units.Watts(1+cfg.OvershootTolerance)
-			if over && !r.overLast {
-				res.EffectiveAttacks++
-			}
-			r.overLast = over
-			wasTripped := r.breaker.Tripped()
-			if r.breaker.Step(draws[i], cfg.Tick) && !wasTripped {
-				if !res.Tripped {
-					res.Tripped = true
-					res.SurvivalTime = now + cfg.Tick
-					res.FirstTripRack = i
-				}
-			}
-		}
-		wasTripped := pduBreaker.Tripped()
-		if pduBreaker.Step(totalGrid, cfg.Tick) && !wasTripped && !res.Tripped {
-			res.Tripped = true
-			res.SurvivalTime = now + cfg.Tick
-			res.FirstTripRack = -1
-		}
-		if pduBreaker.Tripped() && cfg.RestoreAfter > 0 && !cfg.StopOnTrip {
-			pduDown += cfg.Tick
-			if pduDown >= cfg.RestoreAfter {
-				pduBreaker.Reset()
-				pduDown = 0
-			}
-		}
-
-		// 7. Record.
-		if rec != nil && ticks%recEvery == 0 {
-			rec.TotalGrid.Append(float64(totalGrid))
-			for i, r := range racks {
-				rec.RackSOC[i].Append(r.battery.SOC())
-				rec.RackDraw[i].Append(float64(draws[i]))
-				if r.micro != nil {
-					rec.MicroSOC[i].Append(r.micro.SOC())
-				}
-			}
-			lvl := core.Level(0)
-			if hasLevel {
-				lvl = levelScheme.Level()
-			}
-			rec.Levels = append(rec.Levels, lvl)
-			rec.ShedRatio.Append(float64(shedCount) / float64(totalServers))
-			rec.AttackUtil.Append(attackU)
-		}
-
-		if res.Tripped && cfg.StopOnTrip {
+		if !ok {
 			break
 		}
 	}
-
-	if demandedWork > 0 {
-		res.Throughput = deliveredWork / demandedWork
-	} else {
-		res.Throughput = 1
-	}
-	res.MeanShedRatio = shedSum / float64(ticks)
-	res.Recording = rec
-	return res, nil
+	return st.Result(), nil
 }
 
 func newRecording(cfg Config) *Recording {

@@ -1,0 +1,627 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/powersim"
+	"repro/internal/units"
+	"repro/internal/virus"
+)
+
+// Stepper is the engine's single-tick stepping API: all of Run's setup
+// happens once in NewStepper, and each Step (or ComputeDemand/Advance
+// pair) advances the simulation by exactly one tick. Run itself is a
+// loop over a Stepper, so the two paths cannot drift; the online padd
+// daemon drives the same machine from streamed telemetry by calling
+// Advance with externally measured per-server demand.
+//
+// A Stepper inherits sim's concurrency contract: it is confined to one
+// goroutine at a time. The observability accessors (Stats, Now, Ticks)
+// are likewise not synchronized — callers that publish them across
+// goroutines must do their own handoff.
+type Stepper struct {
+	cfg    Config
+	scheme Scheme
+
+	pduBudget  units.Watts
+	pduBreaker *powersim.Breaker
+	racks      []*rack
+
+	totalServers     int
+	compromisedFlag  []bool
+	compromisedRacks []int
+
+	res      *Result
+	rec      *Recording
+	recEvery int
+
+	// Scratch buffers owned by this run and reused every tick (see Run's
+	// allocation-free contract).
+	lastFreq  []float64
+	views     []RackView
+	demandU   []float64
+	lastDraws []units.Watts
+	limits    []units.Watts
+	draws     []units.Watts
+	actsBuf   []Action
+	topK      *topKSelector
+	bg        bgSampler
+
+	scratchScheme ScratchPlanner
+	hasScratch    bool
+	levelScheme   LevelReporter
+	hasLevel      bool
+
+	demandedWork, deliveredWork float64
+	shedSum                     float64
+	pduDown                     time.Duration
+	ticks                       int
+	now                         time.Duration
+	stopped                     bool
+
+	// Per-tick observability, refreshed by Advance.
+	lastTotalGrid units.Watts
+	lastShedCount int
+	lastShedWatts units.Watts
+	lastAttackU   float64
+}
+
+// NewStepper validates cfg and builds a stepper positioned before the
+// first tick.
+func NewStepper(cfg Config, scheme Scheme) (*Stepper, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("sim: scheme is required")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	nameplate := cfg.Server.Peak * units.Watts(cfg.ServersPerRack)
+	plan := powersim.OversubscriptionPlan{
+		RackNameplate: nameplate,
+		Racks:         cfg.Racks,
+		Ratio:         cfg.OversubscriptionRatio,
+	}
+	pduBudget := plan.PDUBudget()
+	newBreaker := func(rated units.Watts) *powersim.Breaker {
+		b := powersim.NewBreaker(rated)
+		if cfg.DisableTrips {
+			b.TripHeat = 1e18
+			b.InstantMultiple = 1e18
+		}
+		return b
+	}
+
+	st := &Stepper{
+		cfg:        cfg,
+		scheme:     scheme,
+		pduBudget:  pduBudget,
+		pduBreaker: newBreaker(pduBudget * units.Watts(1+cfg.OvershootTolerance)),
+	}
+
+	st.racks = make([]*rack, cfg.Racks)
+	for i := range st.racks {
+		budget := plan.RackBudget(i)
+		r := &rack{
+			battery: cfg.BatteryFactory(nameplate),
+			breaker: newBreaker(budget * units.Watts(1+cfg.OvershootTolerance)),
+			budget:  budget,
+		}
+		if cfg.MicroDEBFactory != nil {
+			r.micro = cfg.MicroDEBFactory(nameplate, budget)
+		}
+		st.racks[i] = r
+	}
+
+	st.totalServers = cfg.Racks * cfg.ServersPerRack
+
+	// Compromised-server index: a per-server flag slice for the demand
+	// loop and the distinct compromised racks for the attacker's
+	// capped-observation scan — no map lookups on the hot path.
+	if cfg.Attack != nil {
+		st.compromisedFlag = make([]bool, st.totalServers)
+		rackSeen := make([]bool, cfg.Racks)
+		for _, s := range cfg.Attack.Servers {
+			st.compromisedFlag[s] = true
+			if r := s / cfg.ServersPerRack; !rackSeen[r] {
+				rackSeen[r] = true
+				st.compromisedRacks = append(st.compromisedRacks, r)
+			}
+		}
+	}
+	st.res = &Result{
+		Key:           cfg.Key,
+		Scheme:        scheme.Name(),
+		SurvivalTime:  cfg.Duration,
+		FirstTripRack: -1,
+	}
+	st.recEvery = 1
+	if cfg.Record {
+		st.rec = newRecording(cfg)
+		st.recEvery = int(cfg.RecordStep / cfg.Tick)
+		if st.recEvery < 1 {
+			st.recEvery = 1
+		}
+	}
+
+	st.lastFreq = make([]float64, cfg.Racks)
+	for i := range st.lastFreq {
+		st.lastFreq[i] = 1
+	}
+
+	st.views = make([]RackView, cfg.Racks)
+	st.demandU = make([]float64, st.totalServers)
+	st.lastDraws = make([]units.Watts, cfg.Racks)
+	st.limits = make([]units.Watts, cfg.Racks)
+	st.draws = make([]units.Watts, cfg.Racks)
+	st.actsBuf = make([]Action, cfg.Racks)
+	st.topK = newTopKSelector(cfg.ServersPerRack)
+	st.bg = newBGSampler(cfg.Background)
+	st.scratchScheme, st.hasScratch = scheme.(ScratchPlanner)
+	st.levelScheme, st.hasLevel = scheme.(LevelReporter)
+	return st, nil
+}
+
+// Done reports whether the run has finished: the horizon is exhausted,
+// or StopOnTrip ended it at the first breaker trip.
+func (st *Stepper) Done() bool { return st.stopped || st.now >= st.cfg.Duration }
+
+// Now returns the simulation offset of the next tick to execute.
+func (st *Stepper) Now() time.Duration { return st.now }
+
+// Ticks returns how many ticks have been advanced so far.
+func (st *Stepper) Ticks() int { return st.ticks }
+
+// TotalServers returns the cluster's server count — the length Advance
+// expects of its demand slice.
+func (st *Stepper) TotalServers() int { return st.totalServers }
+
+// Tick returns the configured simulation step.
+func (st *Stepper) Tick() time.Duration { return st.cfg.Tick }
+
+// Scheme returns the scheme under control.
+func (st *Stepper) Scheme() Scheme { return st.scheme }
+
+// ComputeDemand steps the attack controller on last tick's observation
+// and fills the coming tick's per-server utilization demand from the
+// background trace and the virus. The returned slice is owned by the
+// stepper and valid until the next ComputeDemand call; Advance may be
+// called with it directly. Online drivers skip this and pass measured
+// demand to Advance instead.
+func (st *Stepper) ComputeDemand() []float64 {
+	cfg := st.cfg
+
+	// 1. Attacker acts on what it observed last tick.
+	attackU := 0.0
+	if cfg.Attack != nil {
+		capped := false
+		for _, r := range st.compromisedRacks {
+			if st.lastFreq[r] < 0.999 {
+				capped = true
+				break
+			}
+		}
+		attackU = cfg.Attack.Attack.Step(cfg.Tick, virus.Observation{Capped: capped})
+	}
+	st.lastAttackU = attackU
+
+	// 2. Per-server utilization demand at full frequency.
+	if st.bg.series != nil {
+		st.bg.tick(st.now)
+		for s := 0; s < st.totalServers; s++ {
+			u := st.bg.at(s)
+			if st.compromisedFlag != nil && st.compromisedFlag[s] && attackU > u {
+				u = attackU
+			}
+			st.demandU[s] = u
+		}
+	} else {
+		for s := 0; s < st.totalServers; s++ {
+			u := 0.0
+			if st.compromisedFlag != nil && st.compromisedFlag[s] && attackU > u {
+				u = attackU
+			}
+			st.demandU[s] = u
+		}
+	}
+	return st.demandU
+}
+
+// Step advances one tick with trace-derived demand (ComputeDemand +
+// Advance). It reports false, nil without advancing once the run is
+// done; Run is exactly a loop over Step.
+func (st *Stepper) Step() (bool, error) {
+	if st.Done() {
+		return false, nil
+	}
+	if err := st.Advance(st.ComputeDemand()); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Advance executes one simulation tick with the given per-server
+// utilization demand (len must equal TotalServers). This is the whole
+// per-tick machine — scheme planning, soft-limit resolution, shedding,
+// battery and μDEB stepping, charging, breakers, recording — and is the
+// entry point online drivers feed measured telemetry into.
+func (st *Stepper) Advance(demandU []float64) error {
+	if st.Done() {
+		return fmt.Errorf("sim: stepper already done at %v", st.now)
+	}
+	if len(demandU) != st.totalServers {
+		return fmt.Errorf("sim: demand has %d entries for %d servers",
+			len(demandU), st.totalServers)
+	}
+	cfg := st.cfg
+	now := st.now
+	st.ticks++
+
+	// Per-rack electrical demand at full frequency.
+	for i, r := range st.racks {
+		var demand units.Watts
+		for s := i * cfg.ServersPerRack; s < (i+1)*cfg.ServersPerRack; s++ {
+			demand += cfg.Server.Power(demandU[s], 1)
+		}
+		st.views[i] = RackView{
+			Demand:           demand,
+			Budget:           r.budget,
+			BatterySOC:       r.battery.SOC(),
+			BatteryMax:       r.battery.Deliverable(cfg.Tick),
+			BatteryMaxCharge: r.battery.MaxCharge(),
+			MicroSOC:         -1,
+		}
+		if r.micro != nil {
+			st.views[i].MicroSOC = r.micro.SOC()
+		}
+		st.views[i].LastDraw = st.lastDraws[i]
+	}
+	var totalDemand units.Watts
+	for i := range st.views {
+		totalDemand += st.views[i].Demand
+	}
+
+	// 3. Scheme decides. ScratchPlanner schemes fill the engine's
+	// reusable action buffer; plain schemes allocate their own.
+	view := ClusterView{
+		Time:        now,
+		Tick:        cfg.Tick,
+		TotalDemand: totalDemand,
+		PDUBudget:   st.pduBudget,
+		Racks:       st.views,
+	}
+	var actions []Action
+	if st.hasScratch {
+		for i := range st.actsBuf {
+			st.actsBuf[i] = Action{}
+		}
+		actions = st.scratchScheme.PlanInto(view, st.actsBuf)
+	} else {
+		actions = st.scheme.Plan(view)
+	}
+	if len(actions) != cfg.Racks {
+		return fmt.Errorf("sim: scheme %s returned %d actions for %d racks",
+			st.scheme.Name(), len(actions), cfg.Racks)
+	}
+
+	// 4a. Resolve soft-limit reassignments: default budgets where the
+	// scheme passed 0, proportional scale-down if the total exceeds the
+	// PDU budget (eq. 2 must keep holding).
+	var budgetSum units.Watts
+	for i, r := range st.racks {
+		st.limits[i] = r.budget
+		if actions[i].Budget > 0 {
+			st.limits[i] = actions[i].Budget
+		}
+		budgetSum += st.limits[i]
+	}
+	if budgetSum > st.pduBudget {
+		scale := float64(st.pduBudget) / float64(budgetSum)
+		for i := range st.limits {
+			st.limits[i] = units.Watts(float64(st.limits[i]) * scale)
+		}
+	}
+
+	// 4b. Apply actions rack by rack.
+	var totalGrid units.Watts
+	for i := range st.draws {
+		st.draws[i] = 0
+	}
+	shedCount := 0
+	var shedWatts units.Watts
+	for i, r := range st.racks {
+		act := actions[i]
+		freq := act.Freq
+		if freq == 0 {
+			freq = 1
+		}
+		if freq < 0.1 {
+			freq = 0.1
+		}
+		if freq > 1 {
+			freq = 1
+		}
+		st.lastFreq[i] = freq
+		shed := act.ShedServers
+		if shed < 0 {
+			shed = 0
+		}
+		if shed > cfg.ServersPerRack {
+			shed = cfg.ServersPerRack
+		}
+		shedCount += shed
+
+		// Shed the highest-demand servers first: that is where the
+		// power (and any resident attacker) is.
+		base := i * cfg.ServersPerRack
+		order := st.topK.mark(demandU[base:base+cfg.ServersPerRack], shed)
+		var power units.Watts
+		for s := 0; s < cfg.ServersPerRack; s++ {
+			u := demandU[base+s]
+			st.demandedWork += u
+			if order[s] {
+				power += cfg.SleepPower
+				shedWatts += cfg.Server.Power(u, freq) - cfg.SleepPower
+				continue
+			}
+			power += cfg.Server.Power(u, freq)
+			st.deliveredWork += minf(u, freq)
+		}
+
+		// Rack breaker already tripped (non-StopOnTrip mode): the rack
+		// is dark, delivers nothing further, draws nothing. With
+		// RestoreAfter set, the operator eventually resets the feed.
+		if r.breaker.Tripped() && cfg.RestoreAfter > 0 {
+			r.downFor += cfg.Tick
+			if r.downFor >= cfg.RestoreAfter {
+				r.breaker.Reset()
+				r.downFor = 0
+			}
+		}
+		if r.breaker.Tripped() {
+			// Undo this tick's delivered-work credit for the rack.
+			for s := 0; s < cfg.ServersPerRack; s++ {
+				if !order[s] {
+					st.deliveredWork -= minf(demandU[base+s], freq)
+				}
+			}
+			r.battery.Idle(cfg.Tick)
+			continue
+		}
+
+		st.res.EnergyServed += power.Energy(cfg.Tick)
+
+		// Battery discharge, then μDEB shaving on the remainder.
+		grid := power
+		if act.Discharge > 0 {
+			got := r.battery.Discharge(units.Min(act.Discharge, power), cfg.Tick)
+			st.res.EnergyFromBatteries += got.Energy(cfg.Tick)
+			if got > st.res.MaxRackDischarge {
+				st.res.MaxRackDischarge = got
+			}
+			grid -= got
+		}
+		var microBefore units.Joules
+		if r.micro != nil {
+			// The ORing conducts when the draw reaches the rack's
+			// overload-protection limit — the μDEB shaves the
+			// dangerous excursion, not routine above-budget draw
+			// (which is the battery pool's job).
+			r.micro.SetThreshold(st.limits[i] * units.Watts(1+cfg.OvershootTolerance))
+			microBefore = r.micro.ShavedEnergy()
+			grid = r.micro.Shave(grid, cfg.Tick)
+			st.res.EnergyFromMicro += r.micro.ShavedEnergy() - microBefore
+		}
+		st.draws[i] = grid
+		totalGrid += grid
+
+		// Battery charging happens in pass 5 from global headroom; a
+		// rack that neither charged nor discharged must still idle.
+		if act.Discharge <= 0 && act.Charge <= 0 {
+			r.battery.Idle(cfg.Tick)
+		}
+	}
+	st.shedSum += float64(shedCount) / float64(st.totalServers)
+
+	// 5. Grant charge requests from remaining PDU headroom. Every
+	// battery gets exactly one state-advancing call per tick: racks
+	// that discharged (or are dark) were stepped in pass 4; racks
+	// whose charge request cannot be granted idle instead.
+	headroom := st.pduBudget - totalGrid
+	for i, r := range st.racks {
+		act := actions[i]
+		if r.breaker.Tripped() || act.Discharge > 0 {
+			continue
+		}
+		if act.Charge > 0 {
+			if headroom > 0 {
+				got := r.battery.Charge(units.Min(act.Charge, headroom), cfg.Tick)
+				st.draws[i] += got
+				totalGrid += got
+				headroom -= got
+				st.res.EnergyIntoStorage += got.Energy(cfg.Tick)
+			} else {
+				r.battery.Idle(cfg.Tick)
+			}
+		}
+		if act.MicroCharge > 0 && r.micro != nil && headroom > 0 {
+			got := r.micro.Recharge(units.Min(act.MicroCharge, headroom), cfg.Tick)
+			st.draws[i] += got
+			totalGrid += got
+			headroom -= got
+			st.res.EnergyIntoStorage += got.Energy(cfg.Tick)
+		}
+	}
+
+	copy(st.lastDraws, st.draws)
+	st.res.EnergyFromGrid += totalGrid.Energy(cfg.Tick)
+
+	// 6. Step breakers and count overload events. The rack's overload
+	// protection threshold follows its assigned soft limit, while
+	// effective attacks are counted against the pre-determined default
+	// limit (the paper's fixed "x% overshoot" line).
+	for i, r := range st.racks {
+		r.breaker.Rated = st.limits[i] * units.Watts(1+cfg.OvershootTolerance)
+		over := st.draws[i] > r.budget*units.Watts(1+cfg.OvershootTolerance)
+		if over && !r.overLast {
+			st.res.EffectiveAttacks++
+		}
+		r.overLast = over
+		wasTripped := r.breaker.Tripped()
+		if r.breaker.Step(st.draws[i], cfg.Tick) && !wasTripped {
+			if !st.res.Tripped {
+				st.res.Tripped = true
+				st.res.SurvivalTime = now + cfg.Tick
+				st.res.FirstTripRack = i
+			}
+		}
+	}
+	wasTripped := st.pduBreaker.Tripped()
+	if st.pduBreaker.Step(totalGrid, cfg.Tick) && !wasTripped && !st.res.Tripped {
+		st.res.Tripped = true
+		st.res.SurvivalTime = now + cfg.Tick
+		st.res.FirstTripRack = -1
+	}
+	if st.pduBreaker.Tripped() && cfg.RestoreAfter > 0 && !cfg.StopOnTrip {
+		st.pduDown += cfg.Tick
+		if st.pduDown >= cfg.RestoreAfter {
+			st.pduBreaker.Reset()
+			st.pduDown = 0
+		}
+	}
+
+	// 7. Record.
+	if st.rec != nil && st.ticks%st.recEvery == 0 {
+		st.rec.TotalGrid.Append(float64(totalGrid))
+		for i, r := range st.racks {
+			st.rec.RackSOC[i].Append(r.battery.SOC())
+			st.rec.RackDraw[i].Append(float64(st.draws[i]))
+			if r.micro != nil {
+				st.rec.MicroSOC[i].Append(r.micro.SOC())
+			}
+		}
+		lvl := core.Level(0)
+		if st.hasLevel {
+			lvl = st.levelScheme.Level()
+		}
+		st.rec.Levels = append(st.rec.Levels, lvl)
+		st.rec.ShedRatio.Append(float64(shedCount) / float64(st.totalServers))
+		st.rec.AttackUtil.Append(st.lastAttackU)
+	}
+
+	st.lastTotalGrid = totalGrid
+	st.lastShedCount = shedCount
+	st.lastShedWatts = shedWatts
+
+	if st.res.Tripped && cfg.StopOnTrip {
+		st.stopped = true
+	}
+	st.now += cfg.Tick
+	return nil
+}
+
+// Result finalizes the derived metrics over the ticks advanced so far
+// and returns the (live) result. It may be called repeatedly — online
+// drivers read it mid-run — and after the final tick it returns exactly
+// what Run would have.
+func (st *Stepper) Result() *Result {
+	if st.demandedWork > 0 {
+		st.res.Throughput = st.deliveredWork / st.demandedWork
+	} else {
+		st.res.Throughput = 1
+	}
+	if st.ticks > 0 {
+		st.res.MeanShedRatio = st.shedSum / float64(st.ticks)
+	} else {
+		st.res.MeanShedRatio = 0
+	}
+	st.res.Recording = st.rec
+	return st.res
+}
+
+// TickStats is a per-tick observability snapshot for online drivers —
+// the gauges padd exports. Reading it costs one pass over the racks and
+// nothing on the tick path itself.
+type TickStats struct {
+	// Now is the offset of the next tick (i.e. ticks advanced × tick).
+	Now time.Duration
+	// Ticks counts advanced intervals.
+	Ticks int
+	// TotalGrid is the cluster feed draw on the last tick.
+	TotalGrid units.Watts
+	// ShedServers is how many servers were held asleep on the last tick.
+	ShedServers int
+	// ShedWatts is the demand power displaced by shedding on the last
+	// tick (demanded server power minus sleep draw, summed over shed
+	// servers).
+	ShedWatts units.Watts
+	// AttackUtil is the virus utilization commanded on the last tick
+	// (always 0 on the online path).
+	AttackUtil float64
+	// Level is the scheme's security level, or 0 when not reported.
+	Level core.Level
+	// Tripped reports whether any breaker has tripped so far.
+	Tripped bool
+	// MeanSOC and MinSOC summarize the rack batteries' state of charge.
+	MeanSOC, MinSOC float64
+	// MeanMicroSOC is the mean μDEB SOC, or -1 without μDEB hardware.
+	MeanMicroSOC float64
+	// BreakerMargin is the smallest rated-minus-draw margin across the
+	// untripped feeds (rack feeds and the cluster PDU), the distance to
+	// the nearest overload protection limit.
+	BreakerMargin units.Watts
+}
+
+// Stats summarizes the stepper's state after the last advanced tick.
+func (st *Stepper) Stats() TickStats {
+	ts := TickStats{
+		Now:          st.now,
+		Ticks:        st.ticks,
+		TotalGrid:    st.lastTotalGrid,
+		ShedServers:  st.lastShedCount,
+		ShedWatts:    st.lastShedWatts,
+		AttackUtil:   st.lastAttackU,
+		Tripped:      st.res.Tripped,
+		MinSOC:       1,
+		MeanMicroSOC: -1,
+	}
+	if st.hasLevel {
+		ts.Level = st.levelScheme.Level()
+	}
+	margin := st.pduBreaker.Rated - st.lastTotalGrid
+	marginSet := !st.pduBreaker.Tripped()
+	var micro float64
+	microCount := 0
+	for i, r := range st.racks {
+		soc := r.battery.SOC()
+		ts.MeanSOC += soc
+		if soc < ts.MinSOC {
+			ts.MinSOC = soc
+		}
+		if r.micro != nil {
+			micro += r.micro.SOC()
+			microCount++
+		}
+		if !r.breaker.Tripped() {
+			if m := r.breaker.Rated - st.draws[i]; !marginSet || m < margin {
+				margin = m
+				marginSet = true
+			}
+		}
+	}
+	if len(st.racks) > 0 {
+		ts.MeanSOC /= float64(len(st.racks))
+	} else {
+		ts.MinSOC = 0
+	}
+	if microCount > 0 {
+		ts.MeanMicroSOC = micro / float64(microCount)
+	}
+	if marginSet {
+		ts.BreakerMargin = margin
+	}
+	return ts
+}

@@ -1,0 +1,32 @@
+package stats
+
+import "time"
+
+// NoisyUtilization builds one utilization series per server: an AR(1)
+// wander around mean, clamped to [0.05, 0.98], each server seeded from
+// its own deterministic RNG split. This is the quick synthetic
+// background cmd/padsim and the padd replay bridge share — the Google
+// trace replay in internal/trace is the heavyweight alternative.
+func NoisyUtilization(servers int, mean float64, horizon, step time.Duration, seed uint64) []*Series {
+	rng := NewRNG(seed)
+	n := int(horizon/step) + 2
+	out := make([]*Series, servers)
+	for i := range out {
+		r := rng.Split(uint64(i))
+		s := NewSeries(step)
+		wander := 0.0
+		for k := 0; k < n; k++ {
+			wander = 0.9*wander + r.Norm(0, 0.02)
+			u := mean + wander
+			if u < 0.05 {
+				u = 0.05
+			}
+			if u > 0.98 {
+				u = 0.98
+			}
+			s.Append(u)
+		}
+		out[i] = s
+	}
+	return out
+}

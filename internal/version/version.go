@@ -1,0 +1,41 @@
+// Package version derives a human-readable build identifier from the
+// module build info stamped by the go toolchain, for the -version flag
+// every binary in this repo exposes.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// String returns "<module version> (<vcs revision>[-dirty], <go
+// version>)". Pieces missing from the build info (e.g. a non-VCS build
+// or a devel module version) degrade gracefully.
+func String() string {
+	mod := "(devel)"
+	rev := ""
+	dirty := ""
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Version != "" {
+			mod = info.Main.Version
+		}
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+	}
+	if rev == "" {
+		return fmt.Sprintf("%s (%s)", mod, runtime.Version())
+	}
+	return fmt.Sprintf("%s (%s%s, %s)", mod, rev, dirty, runtime.Version())
+}
