@@ -1,0 +1,131 @@
+// Command benchcheck gates CI on engine benchmark regressions: it parses
+// `go test -bench` output, looks up each gated benchmark's checked-in
+// baseline in BENCH_engine.json (the "after" section), and fails when
+// measured ns/op exceeds baseline × max-ratio.
+//
+// The default ratio of 2 is deliberately loose — CI boxes are shared and
+// differ from the baseline machine, so the gate exists to catch
+// order-of-magnitude regressions (an accidentally quadratic loop, a lost
+// cache) rather than to benchmark precisely. Tighten locally with
+// -max-ratio when comparing like for like.
+//
+// Usage:
+//
+//	go test ./internal/sim -run '^$' -bench BenchmarkSimRunPAD -benchtime=10x | \
+//	  benchcheck -baseline BENCH_engine.json -gate BenchmarkSimRunPAD
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type baselineFile struct {
+	After struct {
+		Results map[string]struct {
+			NsOp float64 `json:"ns_op"`
+		} `json:"results"`
+	} `json:"after"`
+}
+
+// parseBench extracts name → ns/op from `go test -bench` output. The
+// GOMAXPROCS suffix (BenchmarkFoo-8) is stripped so names match the
+// baseline file's keys.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 1 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = ns
+	}
+	return out, sc.Err()
+}
+
+func run(benchOut io.Reader, baselinePath string, gates []string, maxRatio float64, report io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchcheck: parsing %s: %w", baselinePath, err)
+	}
+	measured, err := parseBench(benchOut)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, name := range gates {
+		want, ok := base.After.Results[name]
+		if !ok || want.NsOp <= 0 {
+			return fmt.Errorf("benchcheck: no baseline ns_op for %s in %s", name, baselinePath)
+		}
+		got, ok := measured[name]
+		if !ok {
+			return fmt.Errorf("benchcheck: %s missing from bench output", name)
+		}
+		ratio := got / want.NsOp
+		fmt.Fprintf(report, "benchcheck: %s: %.0f ns/op vs baseline %.0f (%.2fx, limit %.2fx)\n",
+			name, got, want.NsOp, ratio, maxRatio)
+		if ratio > maxRatio {
+			failures = append(failures,
+				fmt.Sprintf("%s regressed %.2fx over baseline (limit %.2fx)", name, ratio, maxRatio))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchcheck: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_engine.json", "baseline JSON file (after.results is the reference)")
+	gate := flag.String("gate", "BenchmarkSimRunPAD", "comma-separated benchmarks to gate")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when measured ns/op exceeds baseline by this factor")
+	input := flag.String("input", "-", "bench output file, - for stdin")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, *baseline, strings.Split(*gate, ","), *maxRatio, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

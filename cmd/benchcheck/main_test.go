@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimRunConv-4        	      30	   1302350 ns/op	    7440 B/op	      54 allocs/op
+BenchmarkSimRunPAD           	      30	   1575895 ns/op	   12368 B/op	     193 allocs/op
+PASS
+ok  	repro/internal/sim	0.424s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkSimRunPAD"] != 1575895 {
+		t.Fatalf("PAD ns/op = %v", got["BenchmarkSimRunPAD"])
+	}
+	// The -4 GOMAXPROCS suffix must be stripped.
+	if got["BenchmarkSimRunConv"] != 1302350 {
+		t.Fatalf("Conv ns/op = %v (suffix not stripped?)", got["BenchmarkSimRunConv"])
+	}
+}
+
+func writeBaseline(t *testing.T, nsOp float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	content := fmt.Sprintf(`{"after":{"results":{"BenchmarkSimRunPAD":{"ns_op":%.0f}}}}`, nsOp)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWithinLimit(t *testing.T) {
+	base := writeBaseline(t, 1500000) // measured 1575895: ~1.05x, passes at 2x
+	var report strings.Builder
+	err := run(strings.NewReader(benchOutput), base,
+		[]string{"BenchmarkSimRunPAD"}, 2.0, &report)
+	if err != nil {
+		t.Fatalf("within-limit run failed: %v\n%s", err, report.String())
+	}
+	if !strings.Contains(report.String(), "BenchmarkSimRunPAD") {
+		t.Fatalf("report missing benchmark line:\n%s", report.String())
+	}
+}
+
+func TestRunRegression(t *testing.T) {
+	base := writeBaseline(t, 500000) // measured 1575895: ~3.15x, fails at 2x
+	var report strings.Builder
+	err := run(strings.NewReader(benchOutput), base,
+		[]string{"BenchmarkSimRunPAD"}, 2.0, &report)
+	if err == nil {
+		t.Fatalf("3x regression passed the 2x gate\n%s", report.String())
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRunMissingBenchmark(t *testing.T) {
+	base := writeBaseline(t, 1500000)
+	var report strings.Builder
+	if err := run(strings.NewReader(benchOutput), base,
+		[]string{"BenchmarkNoSuch"}, 2.0, &report); err == nil {
+		t.Fatal("unknown gate benchmark did not error")
+	}
+	if err := run(strings.NewReader("PASS\n"), base,
+		[]string{"BenchmarkSimRunPAD"}, 2.0, &report); err == nil {
+		t.Fatal("empty bench output did not error")
+	}
+}

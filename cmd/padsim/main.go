@@ -49,6 +49,7 @@ func main() {
 		compare     = flag.Bool("compare", false, "run all six schemes and chart their survival")
 		chart       = flag.Bool("chart", false, "plot the cluster feed draw and mean battery SOC over the run")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for -compare (1 = sequential)")
+		rackWorkers = flag.Int("rack-workers", 0, "intra-run rack-kernel goroutines (0/1 = serial; results are bit-identical either way, worthwhile only for large clusters)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	prof = profiling.AddFlags(flag.CommandLine)
@@ -75,6 +76,7 @@ func main() {
 		OvershootTolerance:    *tolerance,
 		Background:            noisyBackground(*racks**spr, *bgMean, *duration, *seed),
 		StopOnTrip:            *stopOnTrip,
+		Workers:               *rackWorkers,
 	}
 	// An Attack is stateful and stepped by the engine, so every run needs
 	// its own instance; mkAttack builds one from the flags.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/fixedstep"
 	"repro/internal/units"
 )
 
@@ -33,7 +34,47 @@ type KiBaM struct {
 	maxDischarge units.Watts
 	maxCharge    units.Watts
 
+	// Per-dt closed-form coefficients (fixed-timestep kernel layer): the
+	// engine steps a battery with one constant tick, so the exp-derived
+	// factors are computed once and reused bit-identically until dt
+	// changes. k and leak are immutable after construction, so dt alone
+	// keys the slot.
+	coefKey fixedstep.Key
+	coef    kibamCoef
+
 	statTracker
+}
+
+// kibamCoef holds the constant-dt factors of the Manwell–McGowan closed
+// form. Each field stores exactly the value the direct expression
+// produces, so substituting them into the formulas is bit-identical to
+// recomputing (pinned by TestKiBaMCoefBitIdentity).
+type kibamCoef struct {
+	t     float64 // dt in seconds
+	ekt   float64 // exp(-k·t)
+	omekt float64 // 1 - ekt
+	ktm1e float64 // k·t - 1 + ekt
+	decay float64 // exp(-leak·t); 1 when the battery has no leak
+}
+
+// coefFor returns the closed-form coefficients for dt, recomputing only
+// when dt differs from the cached step.
+func (b *KiBaM) coefFor(dt time.Duration) *kibamCoef {
+	if !b.coefKey.Hit(dt) {
+		t := dt.Seconds()
+		ekt := math.Exp(-b.k * t)
+		b.coef = kibamCoef{
+			t:     t,
+			ekt:   ekt,
+			omekt: 1 - ekt,
+			ktm1e: b.k*t - 1 + ekt,
+			decay: 1,
+		}
+		if b.leak > 0 {
+			b.coef.decay = math.Exp(-b.leak * t)
+		}
+	}
+	return &b.coef
 }
 
 // KiBaMConfig parameterizes a KiBaM battery.
@@ -144,22 +185,23 @@ func MustKiBaM(cfg KiBaMConfig) *KiBaM {
 // (positive = discharge, negative = charge) using the closed-form KiBaM
 // solution for constant current.
 func (b *KiBaM) step(p float64, dt time.Duration) {
-	t := dt.Seconds()
-	if t <= 0 {
+	if dt <= 0 {
 		return
 	}
+	co := b.coefFor(dt)
 	k := b.k
-	ekt := math.Exp(-k * t)
 	y0 := b.y1 + b.y2
 	c := b.c
-	// Manwell–McGowan closed form.
-	y1 := b.y1*ekt + (y0*k*c-p)*(1-ekt)/k - p*c*(k*t-1+ekt)/k
-	y2 := b.y2*ekt + y0*(1-c)*(1-ekt) - p*(1-c)*(k*t-1+ekt)/k
+	// Manwell–McGowan closed form, with the per-dt factors (co.ekt =
+	// exp(-k·t), co.omekt = 1-ekt, co.ktm1e = k·t-1+ekt) cached. The
+	// expression groups exactly as the direct formula did, so the result
+	// is bit-identical.
+	y1 := b.y1*co.ekt + (y0*k*c-p)*co.omekt/k - p*c*co.ktm1e/k
+	y2 := b.y2*co.ekt + y0*(1-c)*co.omekt - p*(1-c)*co.ktm1e/k
 	// Self-discharge leaks both wells.
 	if b.leak > 0 {
-		decay := math.Exp(-b.leak * t)
-		y1 *= decay
-		y2 *= decay
+		y1 *= co.decay
+		y2 *= co.decay
 	}
 	// Clamp tiny numerical excursions.
 	y1 = math.Max(0, math.Min(y1, c*float64(b.capacity)))
@@ -171,17 +213,16 @@ func (b *KiBaM) step(p float64, dt time.Duration) {
 // can sustain for the whole step without the available well going
 // negative, ignoring the power rating.
 func (b *KiBaM) maxSustainable(dt time.Duration) float64 {
-	t := dt.Seconds()
-	if t <= 0 {
+	if dt <= 0 {
 		return 0
 	}
+	co := b.coefFor(dt)
 	k := b.k
-	ekt := math.Exp(-k * t)
 	y0 := b.y1 + b.y2
 	c := b.c
 	// y1(t) = A − p·B with A, B >= 0; p_max solves y1(t) = 0.
-	a := b.y1*ekt + y0*k*c*(1-ekt)/k
-	bb := (1-ekt)/k + c*(k*t-1+ekt)/k
+	a := b.y1*co.ekt + y0*k*c*co.omekt/k
+	bb := co.omekt/k + c*co.ktm1e/k
 	if bb <= 0 {
 		return 0
 	}
@@ -281,6 +322,11 @@ func (b *KiBaM) UsageStats() Stats { return b.stats }
 // rack cabinets are sized from the paper's "50 s at full rack load" spec:
 // because of the rate-capacity effect the nominal capacity must exceed
 // load×autonomy.
+//
+// The search is a pure function of its arguments but expensive — a
+// 40-step binary search of full 100 ms-tick drain simulations — and every
+// rack cabinet of every run re-derives it, so results are memoized
+// process-wide (see sizecache.go).
 func SizeForAutonomy(load units.Watts, autonomy time.Duration, c, k float64) units.Joules {
 	if c == 0 {
 		c = DefaultC
@@ -291,6 +337,18 @@ func SizeForAutonomy(load units.Watts, autonomy time.Duration, c, k float64) uni
 	if load <= 0 || autonomy <= 0 {
 		return 0
 	}
+	// Non-finite parameters bypass the cache: NaN keys never compare
+	// equal, so caching them would grow the map without ever hitting, and
+	// the uncached path preserves MustKiBaM's panic behaviour.
+	if math.IsNaN(c) || math.IsNaN(k) || math.IsInf(k, 0) ||
+		math.IsNaN(float64(load)) || math.IsInf(float64(load), 0) {
+		return sizeForAutonomyUncached(load, autonomy, c, k)
+	}
+	return cachedSizeForAutonomy(load, autonomy, c, k)
+}
+
+// sizeForAutonomyUncached runs the binary search directly.
+func sizeForAutonomyUncached(load units.Watts, autonomy time.Duration, c, k float64) units.Joules {
 	// Binary search on capacity: sustained time is monotone in capacity.
 	need := float64(load) * autonomy.Seconds()
 	lo, hi := need, need/c*2

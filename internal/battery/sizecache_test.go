@@ -1,0 +1,114 @@
+package battery
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// TestSizeForAutonomyMemoized pins the memo's correctness contract: the
+// cached answer is the uncached answer, exactly, cold and warm, and
+// defaulted parameters share an entry with their explicit spellings.
+func TestSizeForAutonomyMemoized(t *testing.T) {
+	ResetSizeCache()
+	defer ResetSizeCache()
+
+	load, autonomy := units.Watts(5000), 50*time.Second
+	want := sizeForAutonomyUncached(load, autonomy, DefaultC, DefaultK)
+	if got := SizeForAutonomy(load, autonomy, 0, 0); got != want {
+		t.Fatalf("cold cached = %v, uncached %v", got, want)
+	}
+	if got := SizeForAutonomy(load, autonomy, 0, 0); got != want {
+		t.Fatalf("warm cached = %v, uncached %v", got, want)
+	}
+	// Explicit defaults must hit the same entry as zero-selected ones:
+	// keys are built after default substitution.
+	if got := SizeForAutonomy(load, autonomy, DefaultC, DefaultK); got != want {
+		t.Fatalf("explicit-default cached = %v, uncached %v", got, want)
+	}
+	sizeCache.mu.Lock()
+	entries := len(sizeCache.m)
+	sizeCache.mu.Unlock()
+	if entries != 1 {
+		t.Fatalf("cache holds %d entries after equivalent calls, want 1", entries)
+	}
+
+	// A different tuple is its own entry with its own answer.
+	want2 := sizeForAutonomyUncached(load, 2*autonomy, DefaultC, DefaultK)
+	if got := SizeForAutonomy(load, 2*autonomy, 0, 0); got != want2 {
+		t.Fatalf("second tuple cached = %v, uncached %v", got, want2)
+	}
+	if want2 <= want {
+		t.Fatalf("doubling autonomy did not grow the size: %v vs %v", want2, want)
+	}
+}
+
+// TestSizeForAutonomyConcurrent hammers one tuple from many goroutines:
+// singleflight must give every caller the identical result (the race
+// detector covers the memory-safety half).
+func TestSizeForAutonomyConcurrent(t *testing.T) {
+	ResetSizeCache()
+	defer ResetSizeCache()
+
+	load, autonomy := units.Watts(2600), 50*time.Second
+	want := sizeForAutonomyUncached(load, autonomy, DefaultC, DefaultK)
+	var wg sync.WaitGroup
+	got := make([]units.Joules, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = SizeForAutonomy(load, autonomy, 0, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if g != want {
+			t.Fatalf("goroutine %d got %v, want %v", i, g, want)
+		}
+	}
+}
+
+// TestSizeForAutonomyEdgeInputs covers the paths around the cache:
+// non-positive requests return 0 without touching it, and non-finite
+// parameters bypass it (NaN keys would never hit).
+func TestSizeForAutonomyEdgeInputs(t *testing.T) {
+	ResetSizeCache()
+	defer ResetSizeCache()
+
+	if got := SizeForAutonomy(0, 50*time.Second, 0, 0); got != 0 {
+		t.Fatalf("zero load sized %v, want 0", got)
+	}
+	if got := SizeForAutonomy(-5, 50*time.Second, 0, 0); got != 0 {
+		t.Fatalf("negative load sized %v, want 0", got)
+	}
+	if got := SizeForAutonomy(100, 0, 0, 0); got != 0 {
+		t.Fatalf("zero autonomy sized %v, want 0", got)
+	}
+	sizeCache.mu.Lock()
+	entries := len(sizeCache.m)
+	sizeCache.mu.Unlock()
+	if entries != 0 {
+		t.Fatalf("degenerate inputs populated the cache with %d entries", entries)
+	}
+
+	// NaN load: the uncached path panics in MustKiBaM exactly like the
+	// pre-memo code did; the cache must not swallow or alter that.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NaN load did not panic")
+			}
+		}()
+		SizeForAutonomy(units.Watts(math.NaN()), 50*time.Second, 0, 0)
+	}()
+	sizeCache.mu.Lock()
+	entries = len(sizeCache.m)
+	sizeCache.mu.Unlock()
+	if entries != 0 {
+		t.Fatalf("non-finite inputs populated the cache with %d entries", entries)
+	}
+}

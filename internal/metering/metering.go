@@ -37,6 +37,7 @@ type IntervalReading struct {
 type Meter struct {
 	interval time.Duration
 	noise1s  units.Watts
+	sigma    float64 // per-interval noise sigma, derived once from noise1s
 	rng      *stats.RNG
 
 	energy  units.Joules
@@ -56,7 +57,12 @@ func NewMeter(interval time.Duration, noise1s units.Watts, seed uint64) (*Meter,
 	return &Meter{
 		interval: interval,
 		noise1s:  noise1s,
-		rng:      stats.NewRNG(seed).Split(0x3e7e6),
+		// The interval is immutable, so the 1/√interval averaging of the
+		// per-1s sigma is a constant of the meter (fixed-timestep kernel
+		// discipline): derive it once instead of one math.Sqrt per
+		// completed interval.
+		sigma: float64(noise1s) / math.Sqrt(interval.Seconds()),
+		rng:   stats.NewRNG(seed).Split(0x3e7e6),
 	}, nil
 }
 
@@ -81,8 +87,7 @@ func (m *Meter) Record(p units.Watts, dt time.Duration) []IntervalReading {
 		if m.into >= m.interval {
 			avg := m.energy.Over(m.interval)
 			if m.noise1s > 0 {
-				sigma := float64(m.noise1s) / math.Sqrt(m.interval.Seconds())
-				avg += units.Watts(m.rng.Norm(0, sigma))
+				avg += units.Watts(m.rng.Norm(0, m.sigma))
 			}
 			out = append(out, IntervalReading{
 				Start: m.elapsed - m.interval,

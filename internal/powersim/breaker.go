@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/fixedstep"
 	"repro/internal/units"
 )
 
@@ -39,6 +40,25 @@ type Breaker struct {
 	tripped   bool
 	trippedAt time.Duration
 	elapsed   time.Duration
+
+	// Cached per-dt cooling factor exp(-dt/CoolTau) (fixed-timestep
+	// kernel layer): the engine steps every breaker with one constant
+	// tick, so the exponential is computed once per (dt, tau) and reused
+	// bit-identically. CoolTau is an exported field callers may mutate
+	// between steps, so the slot also keys on the tau it was built for.
+	coolKey    fixedstep.Key
+	coolTauFor time.Duration
+	coolFactor float64
+}
+
+// coolFactorFor returns exp(-dt/CoolTau) for the current cooling
+// constant, recomputing only when dt or CoolTau changed.
+func (b *Breaker) coolFactorFor(dt time.Duration) float64 {
+	if tau := b.coolTau(); !b.coolKey.Hit(dt) || b.coolTauFor != tau {
+		b.coolTauFor = tau
+		b.coolFactor = math.Exp(-dt.Seconds() / tau.Seconds())
+	}
+	return b.coolFactor
 }
 
 // NewBreaker returns a breaker with the given continuous rating and
@@ -93,11 +113,10 @@ func (b *Breaker) Step(load units.Watts, dt time.Duration) bool {
 		b.elapsed += dt
 		return true
 	}
-	s := dt.Seconds()
 	if ratio > 1 {
-		b.heat += (ratio*ratio - 1) * s
+		b.heat += (ratio*ratio - 1) * dt.Seconds()
 	} else {
-		b.heat *= math.Exp(-s / b.coolTau().Seconds())
+		b.heat *= b.coolFactorFor(dt)
 	}
 	b.elapsed += dt
 	if b.heat >= b.tripHeat() {

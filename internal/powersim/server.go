@@ -49,13 +49,42 @@ func (m ServerModel) Validate() error {
 // util ∈ [0,1] with its clock scaled to freq ∈ (0,1]. When demand exceeds
 // the scaled capacity the server saturates at the capped frequency.
 func (m ServerModel) Power(util, freq float64) units.Watts {
+	return m.PowerCoef(freq).Power(util)
+}
+
+// PowerCoef holds the frequency-dependent factors of the power model,
+// precomputed so a batch of servers sharing one frequency (a rack under a
+// single DVFS cap) evaluates Power without a math.Pow per server. The
+// per-utilization arithmetic is exactly Power's, so batched and direct
+// evaluation are bit-identical.
+type PowerCoef struct {
+	freq  float64 // clamped frequency
+	scale float64 // Pow(freq, dvfsExponent-1)
+	idle  units.Watts
+	span  float64 // float64(Peak - Idle)
+}
+
+// PowerCoef precomputes the evaluation coefficients for one frequency.
+func (m ServerModel) PowerCoef(freq float64) PowerCoef {
+	f := clampFreq(freq)
+	// Dynamic power scales with the voltage/frequency operating point.
+	// math.Pow(1, y) == 1 exactly for any y, so the uncapped fast path
+	// skips the call without changing a bit.
+	scale := 1.0
+	if f != 1 {
+		scale = math.Pow(f, m.dvfsExponent()-1)
+	}
+	return PowerCoef{freq: f, scale: scale, idle: m.Idle, span: float64(m.Peak - m.Idle)}
+}
+
+// Power returns the draw at the coefficient's frequency for one server's
+// demanded utilization.
+func (c PowerCoef) Power(util float64) units.Watts {
 	util = clamp01(util)
-	freq = clampFreq(freq)
-	delivered := math.Min(util, freq)
+	delivered := math.Min(util, c.freq)
 	// Dynamic power scales with delivered work and with the
 	// voltage/frequency operating point.
-	scale := math.Pow(freq, m.dvfsExponent()-1)
-	return m.Idle + units.Watts(float64(m.Peak-m.Idle)*delivered*scale)
+	return c.idle + units.Watts(c.span*delivered*c.scale)
 }
 
 // Throughput returns the fraction of demanded work completed at the given

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/fixedstep"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -34,6 +35,24 @@ type capGovernor struct {
 	ringHead int
 	ringLen  int
 	zeros    []float64
+
+	// Cached per-tick EWMA weight (fixed-timestep kernel layer): alpha
+	// depends only on the constant tick and the smoothing constant, so it
+	// is derived once per run instead of one math.Exp per observe. Tau is
+	// settable between runs (SetMonitoringTau), so the slot re-keys on it.
+	alphaKey fixedstep.Key
+	alphaTau time.Duration
+	alpha    float64
+}
+
+// alphaFor returns 1-exp(-tick/tau), recomputing only when the tick or
+// the smoothing constant changed.
+func (g *capGovernor) alphaFor(tick time.Duration) float64 {
+	if tau := g.tau(); !g.alphaKey.Hit(tick) || g.alphaTau != tau {
+		g.alphaTau = tau
+		g.alpha = 1 - math.Exp(-tick.Seconds()/tau.Seconds())
+	}
+	return g.alpha
 }
 
 func (g *capGovernor) tau() time.Duration {
@@ -62,7 +81,7 @@ func (g *capGovernor) observe(view sim.ClusterView) []units.Watts {
 		}
 		g.obsOut = make([]units.Watts, n)
 	}
-	alpha := 1 - math.Exp(-view.Tick.Seconds()/g.tau().Seconds())
+	alpha := g.alphaFor(view.Tick)
 	out := g.obsOut[:n]
 	for i, v := range view.Racks {
 		g.smoothed[i] += alpha * (float64(v.Demand) - g.smoothed[i])

@@ -105,3 +105,45 @@ func BenchmarkSimRunConvAttack(b *testing.B) { benchRun(b, newConv, true, false)
 func BenchmarkSimRunPAD(b *testing.B)        { benchRun(b, newPAD, false, false) }
 func BenchmarkSimRunPADAttack(b *testing.B)  { benchRun(b, newPAD, true, false) }
 func BenchmarkSimRunPADRecord(b *testing.B)  { benchRun(b, newPAD, true, true) }
+
+// BenchmarkStepperTick prices one engine tick in isolation — setup
+// (battery sizing, scratch construction) is paid once outside the
+// timer, so ns/op is the steady-state per-tick cost the SoA kernels
+// are optimizing. The horizon is sized to b.N up front; ticks past it
+// would error.
+func BenchmarkStepperTick(b *testing.B) {
+	cfg := benchConfig(false, false)
+	cfg.Duration = time.Duration(b.N+1) * 100 * time.Millisecond
+	st, err := sim.NewStepper(cfg, newPAD())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Worker-count variants of the full-run benchmark: the per-tick kernels
+// fan out across Config.Workers goroutines. On this 8-rack cluster the
+// kernels are small relative to the two barrier handoffs per tick, so
+// these mostly price the synchronization floor — the parallel path is
+// documented as worthwhile only for much larger clusters.
+func benchRunWorkers(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(false, false)
+		cfg.Workers = workers
+		if _, err := sim.Run(cfg, newPAD()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimRunPADWorkers2(b *testing.B) { benchRunWorkers(b, 2) }
+func BenchmarkSimRunPADWorkers4(b *testing.B) { benchRunWorkers(b, 4) }

@@ -181,6 +181,17 @@ type Config struct {
 	Record bool
 	// RecordStep is the recording resolution. 0 selects the tick.
 	RecordStep time.Duration
+	// Workers enables opt-in intra-run rack parallelism: the per-rack
+	// view and apply kernels fan out over min(Workers, Racks) persistent
+	// goroutines with a barrier per phase, while every cross-rack phase
+	// (scheme planning, accumulation, charging, breakers, recording)
+	// stays on the stepping goroutine in rack order — so results are
+	// bit-identical to serial execution regardless of worker count.
+	// 0 or 1 keeps the zero-overhead serial path. Worth enabling only
+	// for large clusters; for sweeps of small runs prefer the run-level
+	// parallelism of internal/runner. A Stepper built with Workers > 1
+	// holds goroutines until Close (Run closes automatically).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -250,6 +261,9 @@ func (c Config) Validate() error {
 				return fmt.Errorf("sim: compromised server %d out of range", s)
 			}
 		}
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }

@@ -3,9 +3,7 @@ package sim
 import (
 	"time"
 
-	"repro/internal/battery"
 	"repro/internal/core"
-	"repro/internal/powersim"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
@@ -83,16 +81,6 @@ type Recording struct {
 	AttackUtil *stats.Series
 }
 
-// rack is the engine's per-rack state.
-type rack struct {
-	battery  battery.Store
-	micro    *core.MicroDEB
-	breaker  *powersim.Breaker
-	budget   units.Watts
-	overLast bool          // feed was above the tolerated limit last tick
-	downFor  time.Duration // accumulated downtime since the trip
-}
-
 // bgSampler samples the per-server background series without a division
 // per server: series are grouped by sampling step and the interpolation
 // coefficients are computed once per (step, tick), then reused across
@@ -160,6 +148,7 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer st.Close()
 	for {
 		ok, err := st.Step()
 		if err != nil {
@@ -199,14 +188,16 @@ func newRecording(cfg Config) *Recording {
 // topKSelector marks the k highest-demand server slots of a rack using a
 // reusable size-k min-heap: O(n log k) per call, no allocations after
 // construction. Ties break toward the lower index, matching the
-// selection order of the original O(k·n) rescan.
+// selection order of the original O(k·n) rescan. The selector holds only
+// private heap scratch and writes marks into a caller-provided slice, so
+// the engine keeps one selector per worker while the mark arrays live in
+// the stepper's struct-of-arrays scratch.
 type topKSelector struct {
-	marked []bool
-	heap   []int
+	heap []int
 }
 
 func newTopKSelector(n int) *topKSelector {
-	return &topKSelector{marked: make([]bool, n), heap: make([]int, 0, n)}
+	return &topKSelector{heap: make([]int, 0, n)}
 }
 
 // worse reports whether slot a ranks strictly below slot b in selection
@@ -218,21 +209,20 @@ func worse(us []float64, a, b int) bool {
 	return a > b
 }
 
-// mark returns a slice with true at the k highest-demand indices of us.
-// The slice is owned by the selector and valid until the next call.
-func (t *topKSelector) mark(us []float64, k int) []bool {
-	marked := t.marked[:len(us)]
+// markInto sets marked[i] true exactly at the k highest-demand indices
+// of us, false elsewhere. len(marked) must equal len(us).
+func (t *topKSelector) markInto(marked []bool, us []float64, k int) {
 	for i := range marked {
 		marked[i] = false
 	}
 	if k <= 0 {
-		return marked
+		return
 	}
 	if k >= len(us) {
 		for i := range marked {
 			marked[i] = true
 		}
-		return marked
+		return
 	}
 	// Min-heap of the k best slots seen so far; the root is the weakest
 	// keeper and is evicted by any stronger candidate.
@@ -278,7 +268,6 @@ func (t *topKSelector) mark(us []float64, k int) []bool {
 		marked[i] = true
 	}
 	t.heap = h
-	return marked
 }
 
 func minf(a, b float64) float64 {

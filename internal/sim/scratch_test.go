@@ -44,9 +44,10 @@ func TestTopKSelectorMatchesNaive(t *testing.T) {
 				us[i] = rng.Float64()
 			}
 		}
+		got := make([]bool, 16)
 		for k := 0; k <= n+1; k++ {
 			want := naiveTopK(us, k)
-			got := sel.mark(us, k)
+			sel.markInto(got[:n], us, k)
 			for i := range want {
 				if want[i] != got[i] {
 					t.Fatalf("trial %d, n=%d, k=%d, us=%v:\nnaive %v\nheap  %v",
@@ -59,14 +60,15 @@ func TestTopKSelectorMatchesNaive(t *testing.T) {
 
 func TestTopKSelectorReuse(t *testing.T) {
 	sel := newTopKSelector(4)
-	first := sel.mark([]float64{1, 2, 3, 4}, 2)
-	if !first[3] || !first[2] || first[0] || first[1] {
-		t.Fatalf("first mark wrong: %v", first)
+	marks := make([]bool, 4)
+	sel.markInto(marks, []float64{1, 2, 3, 4}, 2)
+	if !marks[3] || !marks[2] || marks[0] || marks[1] {
+		t.Fatalf("first mark wrong: %v", marks)
 	}
-	// A later call with different arguments must fully overwrite the
-	// shared scratch, including clearing previously set entries.
-	second := sel.mark([]float64{4, 3, 2, 1}, 1)
-	if !second[0] || second[1] || second[2] || second[3] {
-		t.Fatalf("reused mark wrong: %v", second)
+	// A later call into the same slice must fully overwrite it,
+	// including clearing previously set entries.
+	sel.markInto(marks, []float64{4, 3, 2, 1}, 1)
+	if !marks[0] || marks[1] || marks[2] || marks[3] {
+		t.Fatalf("reused mark wrong: %v", marks)
 	}
 }

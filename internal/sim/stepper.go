@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/powersim"
 	"repro/internal/units"
@@ -17,17 +18,39 @@ import (
 // daemon drives the same machine from streamed telemetry by calling
 // Advance with externally measured per-server demand.
 //
+// Rack state lives in struct-of-arrays form (one slice per field,
+// indexed by rack) and the per-tick work is organized as batched kernels
+// over those arrays: a view kernel (demand fill + rack observation), an
+// apply kernel (shedding, DVFS power, battery and μDEB stepping), and a
+// serial reduce that folds per-rack kernel outputs into the run
+// accumulators in exactly the order the historical single loop used —
+// which is what keeps results bit-identical across the refactor and
+// across worker counts (racks only couple through the already-serial
+// scheme/vDEB phase, the charge pass, and the reduce).
+//
 // A Stepper inherits sim's concurrency contract: it is confined to one
 // goroutine at a time. The observability accessors (Stats, Now, Ticks)
 // are likewise not synchronized — callers that publish them across
-// goroutines must do their own handoff.
+// goroutines must do their own handoff. With Config.Workers > 1 the
+// stepper owns a pool of persistent worker goroutines that are quiescent
+// outside Advance; call Close when done with a stepper to release them
+// (Run does this itself).
 type Stepper struct {
 	cfg    Config
 	scheme Scheme
 
 	pduBudget  units.Watts
 	pduBreaker *powersim.Breaker
-	racks      []*rack
+
+	// Per-rack state, struct-of-arrays: batteries[i], micros[i],
+	// rackBreakers[i], budgets[i], overLast[i] and downFor[i] together
+	// are what the old per-rack struct held for rack i.
+	batteries    []battery.Store
+	micros       []*core.MicroDEB // nil entries for racks without a μDEB
+	rackBreakers []*powersim.Breaker
+	budgets      []units.Watts
+	overLast     []bool
+	downFor      []time.Duration
 
 	totalServers     int
 	compromisedFlag  []bool
@@ -46,8 +69,27 @@ type Stepper struct {
 	limits    []units.Watts
 	draws     []units.Watts
 	actsBuf   []Action
-	topK      *topKSelector
+	topK      []*topKSelector // one per worker; serial uses topK[0]
 	bg        bgSampler
+
+	// Per-rack kernel outputs, filled by the apply kernel and folded by
+	// the serial reduce.
+	marks     []bool // per-server shed marks, racks concatenated
+	rackPower []units.Watts
+	rackShed  []int
+	rackGot   []units.Watts
+	rackMicro []units.Joules
+	rackDark  []bool
+	rackCoefs []powersim.PowerCoef
+
+	// Transient per-tick kernel inputs, set by Advance before the
+	// kernels run (fields rather than arguments so the worker pool can
+	// call fixed methods without per-tick closures).
+	curDemand  []float64
+	curActions []Action
+
+	powerFull powersim.PowerCoef // frequency-1 power coefficients
+	pool      *rackPool          // nil unless Workers > 1 engaged a pool
 
 	scratchScheme ScratchPlanner
 	hasScratch    bool
@@ -102,18 +144,20 @@ func NewStepper(cfg Config, scheme Scheme) (*Stepper, error) {
 		pduBreaker: newBreaker(pduBudget * units.Watts(1+cfg.OvershootTolerance)),
 	}
 
-	st.racks = make([]*rack, cfg.Racks)
-	for i := range st.racks {
+	st.batteries = make([]battery.Store, cfg.Racks)
+	st.micros = make([]*core.MicroDEB, cfg.Racks)
+	st.rackBreakers = make([]*powersim.Breaker, cfg.Racks)
+	st.budgets = make([]units.Watts, cfg.Racks)
+	st.overLast = make([]bool, cfg.Racks)
+	st.downFor = make([]time.Duration, cfg.Racks)
+	for i := 0; i < cfg.Racks; i++ {
 		budget := plan.RackBudget(i)
-		r := &rack{
-			battery: cfg.BatteryFactory(nameplate),
-			breaker: newBreaker(budget * units.Watts(1+cfg.OvershootTolerance)),
-			budget:  budget,
-		}
+		st.batteries[i] = cfg.BatteryFactory(nameplate)
+		st.rackBreakers[i] = newBreaker(budget * units.Watts(1+cfg.OvershootTolerance))
+		st.budgets[i] = budget
 		if cfg.MicroDEBFactory != nil {
-			r.micro = cfg.MicroDEBFactory(nameplate, budget)
+			st.micros[i] = cfg.MicroDEBFactory(nameplate, budget)
 		}
-		st.racks[i] = r
 	}
 
 	st.totalServers = cfg.Racks * cfg.ServersPerRack
@@ -158,11 +202,47 @@ func NewStepper(cfg Config, scheme Scheme) (*Stepper, error) {
 	st.limits = make([]units.Watts, cfg.Racks)
 	st.draws = make([]units.Watts, cfg.Racks)
 	st.actsBuf = make([]Action, cfg.Racks)
-	st.topK = newTopKSelector(cfg.ServersPerRack)
+
+	st.marks = make([]bool, st.totalServers)
+	st.rackPower = make([]units.Watts, cfg.Racks)
+	st.rackShed = make([]int, cfg.Racks)
+	st.rackGot = make([]units.Watts, cfg.Racks)
+	st.rackMicro = make([]units.Joules, cfg.Racks)
+	st.rackDark = make([]bool, cfg.Racks)
+	st.rackCoefs = make([]powersim.PowerCoef, cfg.Racks)
+	st.powerFull = cfg.Server.PowerCoef(1)
+
+	workers := cfg.Workers
+	if workers > cfg.Racks {
+		workers = cfg.Racks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	st.topK = make([]*topKSelector, workers)
+	for w := range st.topK {
+		st.topK[w] = newTopKSelector(cfg.ServersPerRack)
+	}
+	if workers > 1 {
+		st.pool = newRackPool(st, workers)
+	}
+
 	st.bg = newBGSampler(cfg.Background)
 	st.scratchScheme, st.hasScratch = scheme.(ScratchPlanner)
 	st.levelScheme, st.hasLevel = scheme.(LevelReporter)
 	return st, nil
+}
+
+// Close releases the stepper's worker pool, if any. It is idempotent and
+// safe on a serial stepper; a closed stepper falls back to serial
+// in-place execution if advanced again. Run closes its stepper itself;
+// callers that construct a Stepper with Config.Workers > 1 directly are
+// responsible for calling Close.
+func (st *Stepper) Close() {
+	if st.pool != nil {
+		st.pool.close()
+		st.pool = nil
+	}
 }
 
 // Done reports whether the run has finished: the horizon is exhausted,
@@ -243,6 +323,131 @@ func (st *Stepper) Step() (bool, error) {
 	return true, nil
 }
 
+// viewKernel fills rack i's electrical demand and observation view. It
+// touches only rack-i state (its battery, its view slot), so distinct
+// racks run concurrently under the worker pool.
+func (st *Stepper) viewKernel(i int) {
+	cfg := &st.cfg
+	base := i * cfg.ServersPerRack
+	var demand units.Watts
+	for s := base; s < base+cfg.ServersPerRack; s++ {
+		demand += st.powerFull.Power(st.curDemand[s])
+	}
+	b := st.batteries[i]
+	v := RackView{
+		Demand:           demand,
+		Budget:           st.budgets[i],
+		BatterySOC:       b.SOC(),
+		BatteryMax:       b.Deliverable(cfg.Tick),
+		BatteryMaxCharge: b.MaxCharge(),
+		MicroSOC:         -1,
+	}
+	if m := st.micros[i]; m != nil {
+		v.MicroSOC = m.SOC()
+	}
+	v.LastDraw = st.lastDraws[i]
+	st.views[i] = v
+}
+
+// applyKernel executes rack i's share of the action pass: frequency and
+// shed clamping, top-k shed selection, server power summation, breaker
+// restore bookkeeping, battery discharge/idle and μDEB shaving. All
+// global accumulation is deferred to the serial reduce; the kernel
+// writes only rack-i slots (and its worker-private selector), so
+// distinct racks run concurrently under the worker pool.
+func (st *Stepper) applyKernel(worker, i int) {
+	cfg := &st.cfg
+	act := st.curActions[i]
+	freq := act.Freq
+	if freq == 0 {
+		freq = 1
+	}
+	if freq < 0.1 {
+		freq = 0.1
+	}
+	if freq > 1 {
+		freq = 1
+	}
+	st.lastFreq[i] = freq
+	shed := act.ShedServers
+	if shed < 0 {
+		shed = 0
+	}
+	if shed > cfg.ServersPerRack {
+		shed = cfg.ServersPerRack
+	}
+	st.rackShed[i] = shed
+
+	// Shed the highest-demand servers first: that is where the
+	// power (and any resident attacker) is.
+	base := i * cfg.ServersPerRack
+	order := st.marks[base : base+cfg.ServersPerRack]
+	st.topK[worker].markInto(order, st.curDemand[base:base+cfg.ServersPerRack], shed)
+
+	// One math.Pow per rack (zero at full frequency) instead of one per
+	// server: every server in the rack shares the DVFS operating point.
+	pc := st.powerFull
+	if freq != 1 {
+		pc = cfg.Server.PowerCoef(freq)
+	}
+	st.rackCoefs[i] = pc
+	var power units.Watts
+	for s := 0; s < cfg.ServersPerRack; s++ {
+		if order[s] {
+			power += cfg.SleepPower
+			continue
+		}
+		power += pc.Power(st.curDemand[base+s])
+	}
+	st.rackPower[i] = power
+
+	// Rack breaker already tripped (non-StopOnTrip mode): the rack
+	// is dark, delivers nothing further, draws nothing. With
+	// RestoreAfter set, the operator eventually resets the feed.
+	br := st.rackBreakers[i]
+	if br.Tripped() && cfg.RestoreAfter > 0 {
+		st.downFor[i] += cfg.Tick
+		if st.downFor[i] >= cfg.RestoreAfter {
+			br.Reset()
+			st.downFor[i] = 0
+		}
+	}
+	st.rackGot[i] = 0
+	st.rackMicro[i] = 0
+	st.draws[i] = 0
+	if br.Tripped() {
+		st.rackDark[i] = true
+		st.batteries[i].Idle(cfg.Tick)
+		return
+	}
+	st.rackDark[i] = false
+
+	// Battery discharge, then μDEB shaving on the remainder.
+	grid := power
+	if act.Discharge > 0 {
+		got := st.batteries[i].Discharge(units.Min(act.Discharge, power), cfg.Tick)
+		st.rackGot[i] = got
+		grid -= got
+	}
+	if m := st.micros[i]; m != nil {
+		// The ORing conducts when the draw reaches the rack's
+		// overload-protection limit — the μDEB shaves the
+		// dangerous excursion, not routine above-budget draw
+		// (which is the battery pool's job).
+		m.SetThreshold(st.limits[i] * units.Watts(1+cfg.OvershootTolerance))
+		before := m.ShavedEnergy()
+		grid = m.Shave(grid, cfg.Tick)
+		st.rackMicro[i] = m.ShavedEnergy() - before
+	}
+	st.draws[i] = grid
+
+	// Battery charging happens in the charge pass from global headroom;
+	// a rack that neither charged nor discharged must still idle.
+	if act.Discharge <= 0 && act.Charge <= 0 {
+		st.batteries[i].Idle(cfg.Tick)
+	}
+}
+
 // Advance executes one simulation tick with the given per-server
 // utilization demand (len must equal TotalServers). This is the whole
 // per-tick machine — scheme planning, soft-limit resolution, shedding,
@@ -259,25 +464,16 @@ func (st *Stepper) Advance(demandU []float64) error {
 	cfg := st.cfg
 	now := st.now
 	st.ticks++
+	st.curDemand = demandU
 
-	// Per-rack electrical demand at full frequency.
-	for i, r := range st.racks {
-		var demand units.Watts
-		for s := i * cfg.ServersPerRack; s < (i+1)*cfg.ServersPerRack; s++ {
-			demand += cfg.Server.Power(demandU[s], 1)
+	// Per-rack electrical demand at full frequency (view kernel over the
+	// rack arrays).
+	if st.pool != nil {
+		st.pool.run(phaseViews)
+	} else {
+		for i := 0; i < cfg.Racks; i++ {
+			st.viewKernel(i)
 		}
-		st.views[i] = RackView{
-			Demand:           demand,
-			Budget:           r.budget,
-			BatterySOC:       r.battery.SOC(),
-			BatteryMax:       r.battery.Deliverable(cfg.Tick),
-			BatteryMaxCharge: r.battery.MaxCharge(),
-			MicroSOC:         -1,
-		}
-		if r.micro != nil {
-			st.views[i].MicroSOC = r.micro.SOC()
-		}
-		st.views[i].LastDraw = st.lastDraws[i]
 	}
 	var totalDemand units.Watts
 	for i := range st.views {
@@ -306,13 +502,14 @@ func (st *Stepper) Advance(demandU []float64) error {
 		return fmt.Errorf("sim: scheme %s returned %d actions for %d racks",
 			st.scheme.Name(), len(actions), cfg.Racks)
 	}
+	st.curActions = actions
 
 	// 4a. Resolve soft-limit reassignments: default budgets where the
 	// scheme passed 0, proportional scale-down if the total exceeds the
 	// PDU budget (eq. 2 must keep holding).
 	var budgetSum units.Watts
-	for i, r := range st.racks {
-		st.limits[i] = r.budget
+	for i := range st.limits {
+		st.limits[i] = st.budgets[i]
 		if actions[i].Budget > 0 {
 			st.limits[i] = actions[i].Budget
 		}
@@ -325,130 +522,87 @@ func (st *Stepper) Advance(demandU []float64) error {
 		}
 	}
 
-	// 4b. Apply actions rack by rack.
-	var totalGrid units.Watts
-	for i := range st.draws {
-		st.draws[i] = 0
+	// 4b. Apply actions rack by rack: the apply kernel computes every
+	// rack-local quantity (parallel under the pool), then a serial
+	// reduce folds the per-rack outputs into the run accumulators in
+	// exactly the order the historical single loop used, keeping every
+	// floating-point sum bit-identical at any worker count.
+	if st.pool != nil {
+		st.pool.run(phaseApply)
+	} else {
+		for i := 0; i < cfg.Racks; i++ {
+			st.applyKernel(0, i)
+		}
 	}
+
+	var totalGrid units.Watts
 	shedCount := 0
 	var shedWatts units.Watts
-	for i, r := range st.racks {
-		act := actions[i]
-		freq := act.Freq
-		if freq == 0 {
-			freq = 1
-		}
-		if freq < 0.1 {
-			freq = 0.1
-		}
-		if freq > 1 {
-			freq = 1
-		}
-		st.lastFreq[i] = freq
-		shed := act.ShedServers
-		if shed < 0 {
-			shed = 0
-		}
-		if shed > cfg.ServersPerRack {
-			shed = cfg.ServersPerRack
-		}
-		shedCount += shed
-
-		// Shed the highest-demand servers first: that is where the
-		// power (and any resident attacker) is.
+	for i := 0; i < cfg.Racks; i++ {
+		freq := st.lastFreq[i]
+		shedCount += st.rackShed[i]
 		base := i * cfg.ServersPerRack
-		order := st.topK.mark(demandU[base:base+cfg.ServersPerRack], shed)
-		var power units.Watts
+		order := st.marks[base : base+cfg.ServersPerRack]
+		pc := st.rackCoefs[i]
 		for s := 0; s < cfg.ServersPerRack; s++ {
 			u := demandU[base+s]
 			st.demandedWork += u
 			if order[s] {
-				power += cfg.SleepPower
-				shedWatts += cfg.Server.Power(u, freq) - cfg.SleepPower
+				shedWatts += pc.Power(u) - cfg.SleepPower
 				continue
 			}
-			power += cfg.Server.Power(u, freq)
 			st.deliveredWork += minf(u, freq)
 		}
 
-		// Rack breaker already tripped (non-StopOnTrip mode): the rack
-		// is dark, delivers nothing further, draws nothing. With
-		// RestoreAfter set, the operator eventually resets the feed.
-		if r.breaker.Tripped() && cfg.RestoreAfter > 0 {
-			r.downFor += cfg.Tick
-			if r.downFor >= cfg.RestoreAfter {
-				r.breaker.Reset()
-				r.downFor = 0
-			}
-		}
-		if r.breaker.Tripped() {
+		if st.rackDark[i] {
 			// Undo this tick's delivered-work credit for the rack.
 			for s := 0; s < cfg.ServersPerRack; s++ {
 				if !order[s] {
 					st.deliveredWork -= minf(demandU[base+s], freq)
 				}
 			}
-			r.battery.Idle(cfg.Tick)
 			continue
 		}
 
-		st.res.EnergyServed += power.Energy(cfg.Tick)
-
-		// Battery discharge, then μDEB shaving on the remainder.
-		grid := power
-		if act.Discharge > 0 {
-			got := r.battery.Discharge(units.Min(act.Discharge, power), cfg.Tick)
+		st.res.EnergyServed += st.rackPower[i].Energy(cfg.Tick)
+		if st.curActions[i].Discharge > 0 {
+			got := st.rackGot[i]
 			st.res.EnergyFromBatteries += got.Energy(cfg.Tick)
 			if got > st.res.MaxRackDischarge {
 				st.res.MaxRackDischarge = got
 			}
-			grid -= got
 		}
-		var microBefore units.Joules
-		if r.micro != nil {
-			// The ORing conducts when the draw reaches the rack's
-			// overload-protection limit — the μDEB shaves the
-			// dangerous excursion, not routine above-budget draw
-			// (which is the battery pool's job).
-			r.micro.SetThreshold(st.limits[i] * units.Watts(1+cfg.OvershootTolerance))
-			microBefore = r.micro.ShavedEnergy()
-			grid = r.micro.Shave(grid, cfg.Tick)
-			st.res.EnergyFromMicro += r.micro.ShavedEnergy() - microBefore
+		if st.micros[i] != nil {
+			st.res.EnergyFromMicro += st.rackMicro[i]
 		}
-		st.draws[i] = grid
-		totalGrid += grid
-
-		// Battery charging happens in pass 5 from global headroom; a
-		// rack that neither charged nor discharged must still idle.
-		if act.Discharge <= 0 && act.Charge <= 0 {
-			r.battery.Idle(cfg.Tick)
-		}
+		totalGrid += st.draws[i]
 	}
 	st.shedSum += float64(shedCount) / float64(st.totalServers)
 
 	// 5. Grant charge requests from remaining PDU headroom. Every
 	// battery gets exactly one state-advancing call per tick: racks
 	// that discharged (or are dark) were stepped in pass 4; racks
-	// whose charge request cannot be granted idle instead.
+	// whose charge request cannot be granted idle instead. Headroom
+	// hands down sequentially, so this pass stays serial.
 	headroom := st.pduBudget - totalGrid
-	for i, r := range st.racks {
+	for i := 0; i < cfg.Racks; i++ {
 		act := actions[i]
-		if r.breaker.Tripped() || act.Discharge > 0 {
+		if st.rackBreakers[i].Tripped() || act.Discharge > 0 {
 			continue
 		}
 		if act.Charge > 0 {
 			if headroom > 0 {
-				got := r.battery.Charge(units.Min(act.Charge, headroom), cfg.Tick)
+				got := st.batteries[i].Charge(units.Min(act.Charge, headroom), cfg.Tick)
 				st.draws[i] += got
 				totalGrid += got
 				headroom -= got
 				st.res.EnergyIntoStorage += got.Energy(cfg.Tick)
 			} else {
-				r.battery.Idle(cfg.Tick)
+				st.batteries[i].Idle(cfg.Tick)
 			}
 		}
-		if act.MicroCharge > 0 && r.micro != nil && headroom > 0 {
-			got := r.micro.Recharge(units.Min(act.MicroCharge, headroom), cfg.Tick)
+		if act.MicroCharge > 0 && st.micros[i] != nil && headroom > 0 {
+			got := st.micros[i].Recharge(units.Min(act.MicroCharge, headroom), cfg.Tick)
 			st.draws[i] += got
 			totalGrid += got
 			headroom -= got
@@ -463,15 +617,16 @@ func (st *Stepper) Advance(demandU []float64) error {
 	// protection threshold follows its assigned soft limit, while
 	// effective attacks are counted against the pre-determined default
 	// limit (the paper's fixed "x% overshoot" line).
-	for i, r := range st.racks {
-		r.breaker.Rated = st.limits[i] * units.Watts(1+cfg.OvershootTolerance)
-		over := st.draws[i] > r.budget*units.Watts(1+cfg.OvershootTolerance)
-		if over && !r.overLast {
+	for i := 0; i < cfg.Racks; i++ {
+		br := st.rackBreakers[i]
+		br.Rated = st.limits[i] * units.Watts(1+cfg.OvershootTolerance)
+		over := st.draws[i] > st.budgets[i]*units.Watts(1+cfg.OvershootTolerance)
+		if over && !st.overLast[i] {
 			st.res.EffectiveAttacks++
 		}
-		r.overLast = over
-		wasTripped := r.breaker.Tripped()
-		if r.breaker.Step(st.draws[i], cfg.Tick) && !wasTripped {
+		st.overLast[i] = over
+		wasTripped := br.Tripped()
+		if br.Step(st.draws[i], cfg.Tick) && !wasTripped {
 			if !st.res.Tripped {
 				st.res.Tripped = true
 				st.res.SurvivalTime = now + cfg.Tick
@@ -496,11 +651,11 @@ func (st *Stepper) Advance(demandU []float64) error {
 	// 7. Record.
 	if st.rec != nil && st.ticks%st.recEvery == 0 {
 		st.rec.TotalGrid.Append(float64(totalGrid))
-		for i, r := range st.racks {
-			st.rec.RackSOC[i].Append(r.battery.SOC())
+		for i := 0; i < cfg.Racks; i++ {
+			st.rec.RackSOC[i].Append(st.batteries[i].SOC())
 			st.rec.RackDraw[i].Append(float64(st.draws[i]))
-			if r.micro != nil {
-				st.rec.MicroSOC[i].Append(r.micro.SOC())
+			if st.micros[i] != nil {
+				st.rec.MicroSOC[i].Append(st.micros[i].SOC())
 			}
 		}
 		lvl := core.Level(0)
@@ -595,25 +750,25 @@ func (st *Stepper) Stats() TickStats {
 	marginSet := !st.pduBreaker.Tripped()
 	var micro float64
 	microCount := 0
-	for i, r := range st.racks {
-		soc := r.battery.SOC()
+	for i := range st.batteries {
+		soc := st.batteries[i].SOC()
 		ts.MeanSOC += soc
 		if soc < ts.MinSOC {
 			ts.MinSOC = soc
 		}
-		if r.micro != nil {
-			micro += r.micro.SOC()
+		if st.micros[i] != nil {
+			micro += st.micros[i].SOC()
 			microCount++
 		}
-		if !r.breaker.Tripped() {
-			if m := r.breaker.Rated - st.draws[i]; !marginSet || m < margin {
+		if !st.rackBreakers[i].Tripped() {
+			if m := st.rackBreakers[i].Rated - st.draws[i]; !marginSet || m < margin {
 				margin = m
 				marginSet = true
 			}
 		}
 	}
-	if len(st.racks) > 0 {
-		ts.MeanSOC /= float64(len(st.racks))
+	if len(st.batteries) > 0 {
+		ts.MeanSOC /= float64(len(st.batteries))
 	} else {
 		ts.MinSOC = 0
 	}

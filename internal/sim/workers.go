@@ -1,0 +1,92 @@
+package sim
+
+import "sync"
+
+// Intra-run rack parallelism. The engine's per-tick work factors into
+// rack-local kernels (viewKernel, applyKernel) plus serial phases that
+// couple racks (scheme planning, the headroom-ordered charge pass, the
+// reduce, breakers, recording). Racks only interact through those serial
+// phases, so the kernels can fan out across worker goroutines with a
+// barrier per phase and still produce results bit-identical to serial
+// execution: every rack's floats land in that rack's own array slots,
+// and all cross-rack accumulation happens afterwards, in rack order, on
+// the stepping goroutine.
+//
+// The pool is persistent — Config.Workers goroutines started once in
+// NewStepper and parked on their start channels between ticks — because
+// a month-long trace advances millions of ticks and per-tick goroutine
+// spawning would dominate the kernels it parallelizes. Work is striped
+// statically (worker w takes racks w, w+n, w+2n, …): rack kernels are
+// near-uniform in cost, so stealing machinery would buy nothing. The
+// per-tick cost is one channel send and one WaitGroup signal per worker
+// per phase, which is why the parallel path pays off on large clusters
+// and is opt-in (Workers ≤ 1 keeps the zero-overhead serial path).
+//
+// Phases are identified by constants rather than closures so a tick
+// allocates nothing (the allocation-free hot-loop contract of Run).
+
+type phase uint8
+
+const (
+	phaseViews phase = iota
+	phaseApply
+)
+
+type rackPool struct {
+	st     *Stepper
+	n      int
+	start  []chan phase
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// newRackPool starts n persistent workers striped over the stepper's
+// racks. Caller guarantees 1 < n <= racks.
+func newRackPool(st *Stepper, n int) *rackPool {
+	p := &rackPool{st: st, n: n, start: make([]chan phase, n)}
+	for w := 0; w < n; w++ {
+		ch := make(chan phase, 1)
+		p.start[w] = ch
+		go p.worker(w, ch)
+	}
+	return p
+}
+
+func (p *rackPool) worker(w int, ch chan phase) {
+	for ph := range ch {
+		racks := p.st.cfg.Racks
+		switch ph {
+		case phaseViews:
+			for i := w; i < racks; i += p.n {
+				p.st.viewKernel(i)
+			}
+		case phaseApply:
+			for i := w; i < racks; i += p.n {
+				p.st.applyKernel(w, i)
+			}
+		}
+		p.wg.Done()
+	}
+}
+
+// run executes one phase across all racks and waits for the barrier:
+// when it returns, every rack's kernel outputs are visible to the
+// stepping goroutine (the WaitGroup provides the happens-before edge).
+func (p *rackPool) run(ph phase) {
+	p.wg.Add(p.n)
+	for _, ch := range p.start {
+		ch <- ph
+	}
+	p.wg.Wait()
+}
+
+// close releases the workers. Idempotent.
+func (p *rackPool) close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.start {
+		close(ch)
+	}
+}

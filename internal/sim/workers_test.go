@@ -1,0 +1,140 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/virus"
+)
+
+// workersConfig is a cluster wide enough that worker striping is
+// non-trivial (8 racks across up to 8 workers), with recording on,
+// μDEBs deployed and an attack in flight so every engine path the
+// kernels touch is exercised.
+func workersConfig() sim.Config {
+	const racks, spr = 8, 4
+	horizon := 10 * time.Second
+	bg := make([]*stats.Series, racks*spr)
+	rng := stats.NewRNG(97)
+	for i := range bg {
+		r := rng.Split(uint64(i))
+		s := stats.NewSeries(time.Second)
+		for k := 0; k <= int(horizon/time.Second)+1; k++ {
+			s.Append(0.35 + 0.4*r.Float64())
+		}
+		bg[i] = s
+	}
+	return sim.Config{
+		Key:             "stepper/workers",
+		Racks:           racks,
+		ServersPerRack:  spr,
+		Tick:            100 * time.Millisecond,
+		Duration:        horizon,
+		Background:      bg,
+		Record:          true,
+		MicroDEBFactory: schemes.MicroDEBFactory(0.01),
+		Attack: &sim.AttackSpec{
+			Servers: []int{0, 1, 9, 17},
+			Attack: virus.MustNew(virus.Config{
+				Profile:         virus.CPUIntensive,
+				PrepDuration:    time.Second,
+				MaxPhaseI:       3 * time.Second,
+				SpikeWidth:      time.Second,
+				SpikesPerMinute: 15,
+				Seed:            9,
+			}),
+		},
+	}
+}
+
+// TestWorkersBitIdentical pins the parallel path's core guarantee: for
+// every scheme, runs with Workers ∈ {0, 1, 4, 8} produce deeply equal
+// Results — recordings, energy accounting and all. The parallel kernels
+// only ever write rack-local slots and every cross-rack accumulation
+// replays serially in rack order, so worker count must be invisible in
+// the floats, not merely close. Run under -race in CI, this doubles as
+// the data-race check on the pool's barrier.
+func TestWorkersBitIdentical(t *testing.T) {
+	for name, mk := range stepperMakers() {
+		t.Run(name, func(t *testing.T) {
+			cfg := workersConfig()
+			base, err := sim.Run(cfg, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4, 8} {
+				cfg := workersConfig()
+				cfg.Workers = workers
+				got, err := sim.Run(cfg, mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(base, got) {
+					t.Fatalf("%s: Workers=%d diverged from serial run", name, workers)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersManualStepping drives a parallel stepper through the split
+// ComputeDemand/Advance API (the online daemon's path) and checks it
+// matches the serial packaged loop, then verifies Close is safe to call
+// repeatedly and that a closed-but-finished stepper still serves its
+// Result.
+func TestWorkersManualStepping(t *testing.T) {
+	cfg := workersConfig()
+	serial, err := sim.Run(cfg, stepperMakers()["PAD"]())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg = workersConfig()
+	cfg.Workers = 4
+	st, err := sim.NewStepper(cfg, stepperMakers()["PAD"]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !st.Done() {
+		if err := st.Advance(st.ComputeDemand()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	st.Close() // idempotent
+	if !reflect.DeepEqual(serial, st.Result()) {
+		t.Fatal("parallel ComputeDemand/Advance loop diverged from serial Run")
+	}
+}
+
+// TestWorkersValidation covers the config plumbing: negative counts are
+// rejected, and counts beyond the rack count are clamped rather than
+// spinning useless goroutines.
+func TestWorkersValidation(t *testing.T) {
+	cfg := workersConfig()
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted negative Workers")
+	}
+	if _, err := sim.NewStepper(cfg, stepperMakers()["PAD"]()); err == nil {
+		t.Fatal("NewStepper accepted negative Workers")
+	}
+
+	cfg = workersConfig()
+	cfg.Workers = 64 // > racks: clamped internally, must still be exact
+	serial, err := sim.Run(workersConfig(), stepperMakers()["Conv"]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(cfg, stepperMakers()["Conv"]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, got) {
+		t.Fatal("Workers > Racks diverged from serial run")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/fixedstep"
 	"repro/internal/stats"
 )
 
@@ -162,6 +163,13 @@ type Attack struct {
 	spiking     bool
 	nextSpikeAt time.Duration
 	spikeEndAt  time.Duration
+
+	// Cached per-dt ramp weight (fixed-timestep kernel layer): the
+	// controller is stepped with the simulation's constant tick and the
+	// profile's ramp constant is immutable, so 1-exp(-dt/tau) is derived
+	// once instead of one math.Exp per Step.
+	alphaKey fixedstep.Key
+	alpha    float64
 }
 
 // New creates a two-phase attack controller.
@@ -295,7 +303,9 @@ func (a *Attack) ramp(target float64, dt time.Duration) float64 {
 		a.reached = target
 		return a.reached
 	}
-	alpha := 1 - math.Exp(-dt.Seconds()/tau)
-	a.reached += (target - a.reached) * alpha
+	if !a.alphaKey.Hit(dt) {
+		a.alpha = 1 - math.Exp(-dt.Seconds()/tau)
+	}
+	a.reached += (target - a.reached) * a.alpha
 	return a.reached
 }
