@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/version"
 	"repro/internal/virus"
@@ -35,11 +36,16 @@ func main() {
 		out         = flag.String("o", "", "output file (default stdout)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
+	logFlags := obs.AddLogFlags(flag.CommandLine)
 	pprof = profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("attackgen", version.String())
 		return
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
 	if err := pprof.Start(); err != nil {
 		fatal(err)
@@ -71,6 +77,8 @@ func main() {
 	}
 
 	series := scen.UtilizationTrace(prof, *duration, *step, *seed)
+	logger.Debug("trace generated",
+		"scenario", scen.Name, "profile", prof.Name, "samples", len(series.Values))
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

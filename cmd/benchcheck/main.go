@@ -9,10 +9,17 @@
 // cache) rather than to benchmark precisely. Tighten locally with
 // -max-ratio when comparing like for like.
 //
+// -zero-allocs names benchmarks that must report exactly 0 allocs/op —
+// an absolute invariant (the engine's allocation-free hot loop), immune
+// to machine noise, so unlike the ns/op gate it has no tolerance. The
+// bench run must include -benchmem for the allocs column to exist.
+//
 // Usage:
 //
-//	go test ./internal/sim -run '^$' -bench BenchmarkSimRunPAD -benchtime=10x | \
-//	  benchcheck -baseline BENCH_engine.json -gate BenchmarkSimRunPAD
+//	go test ./internal/sim -run '^$' -bench 'BenchmarkSimRunPAD|BenchmarkStepperTick' \
+//	  -benchmem -benchtime=10x | \
+//	  benchcheck -baseline BENCH_engine.json -gate BenchmarkSimRunPAD \
+//	    -zero-allocs BenchmarkStepperTick
 package main
 
 import (
@@ -34,29 +41,42 @@ type baselineFile struct {
 	} `json:"after"`
 }
 
-// parseBench extracts name → ns/op from `go test -bench` output. The
+// measurement is one benchmark line's parsed metrics. allocsOp is only
+// meaningful when hasAllocs is set (the run included -benchmem).
+type measurement struct {
+	nsOp      float64
+	allocsOp  float64
+	hasAllocs bool
+}
+
+// parseBench extracts name → metrics from `go test -bench` output. The
 // GOMAXPROCS suffix (BenchmarkFoo-8) is stripped so names match the
 // baseline file's keys.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := map[string]float64{}
+func parseBench(r io.Reader) (map[string]measurement, error) {
+	out := map[string]measurement{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		nsIdx := -1
-		for i, f := range fields {
-			if f == "ns/op" {
-				nsIdx = i - 1
-				break
+		// Metric columns are "<value> <unit>" pairs after the iteration
+		// count; pick out the units the gates consume.
+		var m measurement
+		nsOK := false
+		for i := 2; i < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i] {
+			case "ns/op":
+				m.nsOp, nsOK = v, true
+			case "allocs/op":
+				m.allocsOp, m.hasAllocs = v, true
 			}
 		}
-		if nsIdx < 1 {
-			continue
-		}
-		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
-		if err != nil {
+		if !nsOK {
 			continue
 		}
 		name := fields[0]
@@ -65,12 +85,12 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 				name = name[:i]
 			}
 		}
-		out[name] = ns
+		out[name] = m
 	}
 	return out, sc.Err()
 }
 
-func run(benchOut io.Reader, baselinePath string, gates []string, maxRatio float64, report io.Writer) error {
+func run(benchOut io.Reader, baselinePath string, gates, zeroAllocs []string, maxRatio float64, report io.Writer) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -93,12 +113,26 @@ func run(benchOut io.Reader, baselinePath string, gates []string, maxRatio float
 		if !ok {
 			return fmt.Errorf("benchcheck: %s missing from bench output", name)
 		}
-		ratio := got / want.NsOp
+		ratio := got.nsOp / want.NsOp
 		fmt.Fprintf(report, "benchcheck: %s: %.0f ns/op vs baseline %.0f (%.2fx, limit %.2fx)\n",
-			name, got, want.NsOp, ratio, maxRatio)
+			name, got.nsOp, want.NsOp, ratio, maxRatio)
 		if ratio > maxRatio {
 			failures = append(failures,
 				fmt.Sprintf("%s regressed %.2fx over baseline (limit %.2fx)", name, ratio, maxRatio))
+		}
+	}
+	for _, name := range zeroAllocs {
+		got, ok := measured[name]
+		if !ok {
+			return fmt.Errorf("benchcheck: %s missing from bench output", name)
+		}
+		if !got.hasAllocs {
+			return fmt.Errorf("benchcheck: %s has no allocs/op column (run go test with -benchmem)", name)
+		}
+		fmt.Fprintf(report, "benchcheck: %s: %g allocs/op (limit 0)\n", name, got.allocsOp)
+		if got.allocsOp != 0 {
+			failures = append(failures,
+				fmt.Sprintf("%s allocates (%g allocs/op, want 0)", name, got.allocsOp))
 		}
 	}
 	if len(failures) > 0 {
@@ -107,9 +141,22 @@ func run(benchOut io.Reader, baselinePath string, gates []string, maxRatio float
 	return nil
 }
 
+// splitList splits a comma-separated flag value, yielding nil for the
+// empty string.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_engine.json", "baseline JSON file (after.results is the reference)")
 	gate := flag.String("gate", "BenchmarkSimRunPAD", "comma-separated benchmarks to gate")
+	zeroAllocs := flag.String("zero-allocs", "", "comma-separated benchmarks that must report exactly 0 allocs/op (needs -benchmem output)")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when measured ns/op exceeds baseline by this factor")
 	input := flag.String("input", "-", "bench output file, - for stdin")
 	flag.Parse()
@@ -124,7 +171,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, *baseline, strings.Split(*gate, ","), *maxRatio, os.Stdout); err != nil {
+	if err := run(in, *baseline, splitList(*gate), splitList(*zeroAllocs), *maxRatio, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -14,6 +14,8 @@ pkg: repro/internal/sim
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkSimRunConv-4        	      30	   1302350 ns/op	    7440 B/op	      54 allocs/op
 BenchmarkSimRunPAD           	      30	   1575895 ns/op	   12368 B/op	     193 allocs/op
+BenchmarkStepperTick-4       	     200	      3819 ns/op	      39 B/op	       0 allocs/op
+BenchmarkNoMem               	      30	   1000000 ns/op
 PASS
 ok  	repro/internal/sim	0.424s
 `
@@ -23,12 +25,21 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkSimRunPAD"] != 1575895 {
+	if got["BenchmarkSimRunPAD"].nsOp != 1575895 {
 		t.Fatalf("PAD ns/op = %v", got["BenchmarkSimRunPAD"])
 	}
 	// The -4 GOMAXPROCS suffix must be stripped.
-	if got["BenchmarkSimRunConv"] != 1302350 {
+	if got["BenchmarkSimRunConv"].nsOp != 1302350 {
 		t.Fatalf("Conv ns/op = %v (suffix not stripped?)", got["BenchmarkSimRunConv"])
+	}
+	if m := got["BenchmarkStepperTick"]; !m.hasAllocs || m.allocsOp != 0 {
+		t.Fatalf("StepperTick allocs = %+v", m)
+	}
+	if m := got["BenchmarkSimRunPAD"]; !m.hasAllocs || m.allocsOp != 193 {
+		t.Fatalf("PAD allocs = %+v", m)
+	}
+	if m := got["BenchmarkNoMem"]; m.hasAllocs {
+		t.Fatalf("no-benchmem line claims allocs: %+v", m)
 	}
 }
 
@@ -46,7 +57,7 @@ func TestRunWithinLimit(t *testing.T) {
 	base := writeBaseline(t, 1500000) // measured 1575895: ~1.05x, passes at 2x
 	var report strings.Builder
 	err := run(strings.NewReader(benchOutput), base,
-		[]string{"BenchmarkSimRunPAD"}, 2.0, &report)
+		[]string{"BenchmarkSimRunPAD"}, nil, 2.0, &report)
 	if err != nil {
 		t.Fatalf("within-limit run failed: %v\n%s", err, report.String())
 	}
@@ -59,7 +70,7 @@ func TestRunRegression(t *testing.T) {
 	base := writeBaseline(t, 500000) // measured 1575895: ~3.15x, fails at 2x
 	var report strings.Builder
 	err := run(strings.NewReader(benchOutput), base,
-		[]string{"BenchmarkSimRunPAD"}, 2.0, &report)
+		[]string{"BenchmarkSimRunPAD"}, nil, 2.0, &report)
 	if err == nil {
 		t.Fatalf("3x regression passed the 2x gate\n%s", report.String())
 	}
@@ -72,11 +83,46 @@ func TestRunMissingBenchmark(t *testing.T) {
 	base := writeBaseline(t, 1500000)
 	var report strings.Builder
 	if err := run(strings.NewReader(benchOutput), base,
-		[]string{"BenchmarkNoSuch"}, 2.0, &report); err == nil {
+		[]string{"BenchmarkNoSuch"}, nil, 2.0, &report); err == nil {
 		t.Fatal("unknown gate benchmark did not error")
 	}
 	if err := run(strings.NewReader("PASS\n"), base,
-		[]string{"BenchmarkSimRunPAD"}, 2.0, &report); err == nil {
+		[]string{"BenchmarkSimRunPAD"}, nil, 2.0, &report); err == nil {
 		t.Fatal("empty bench output did not error")
+	}
+}
+
+func TestRunZeroAllocsGate(t *testing.T) {
+	base := writeBaseline(t, 1500000)
+	var report strings.Builder
+	// 0 allocs/op passes.
+	if err := run(strings.NewReader(benchOutput), base,
+		nil, []string{"BenchmarkStepperTick"}, 2.0, &report); err != nil {
+		t.Fatalf("zero-alloc benchmark failed the gate: %v", err)
+	}
+	if !strings.Contains(report.String(), "0 allocs/op (limit 0)") {
+		t.Fatalf("report missing allocs line:\n%s", report.String())
+	}
+	// A benchmark that allocates fails, with no ratio tolerance.
+	err := run(strings.NewReader(benchOutput), base,
+		nil, []string{"BenchmarkSimRunPAD"}, 2.0, &report)
+	if err == nil || !strings.Contains(err.Error(), "allocates") {
+		t.Fatalf("allocating benchmark passed the zero-allocs gate: %v", err)
+	}
+	// A line without -benchmem columns is a hard error, not a pass.
+	if err := run(strings.NewReader(benchOutput), base,
+		nil, []string{"BenchmarkNoMem"}, 2.0, &report); err == nil ||
+		!strings.Contains(err.Error(), "-benchmem") {
+		t.Fatalf("missing allocs column not diagnosed: %v", err)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Fatalf("empty list = %v", got)
+	}
+	got := splitList("a, b,,c")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitList = %v", got)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -51,11 +52,16 @@ func main() {
 		progress    = flag.Bool("progress", false, "report per-run progress and ETA on stderr")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
+	logFlags := obs.AddLogFlags(flag.CommandLine)
 	prof = profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("experiments", version.String())
 		return
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
@@ -69,9 +75,9 @@ func main() {
 	p := experiments.Params{Quick: *quick, Seed: *seed, Workers: *workers}
 	if *progress {
 		p.Progress = func(pr runner.Progress) {
-			fmt.Fprintf(os.Stderr, "  [%d/%d] %-40s elapsed %v eta %v\n",
-				pr.Done, pr.Total, pr.Key,
-				pr.Elapsed.Round(time.Second), pr.ETA.Round(time.Second))
+			logger.Info("run finished",
+				"done", pr.Done, "total", pr.Total, "key", pr.Key,
+				"elapsed", pr.Elapsed.Round(time.Second), "eta", pr.ETA.Round(time.Second))
 		}
 	}
 	if err := os.MkdirAll(*results, 0o755); err != nil {
@@ -97,6 +103,7 @@ func main() {
 			continue
 		}
 		start := time.Now()
+		logger.Debug("experiment starting", "name", r.name)
 		if err := r.run(p, *results); err != nil {
 			fatal(fmt.Errorf("%s: %w", r.name, err))
 		}

@@ -26,11 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // -pprof-addr serves the default mux
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/padd"
 	"repro/internal/profiling"
 	"repro/internal/version"
@@ -46,13 +48,19 @@ func main() {
 		replayFor    = flag.Duration("replay-duration", 2*time.Minute, "simulated horizon for -replay")
 		replaySeed   = flag.Uint64("replay-seed", 42, "seed for the -replay background load and virus")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining sessions")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; live complement to the -cpuprofile/-memprofile whole-run flags)")
 		showVersion  = flag.Bool("version", false, "print version and exit")
 	)
+	logFlags := obs.AddLogFlags(flag.CommandLine)
 	prof = profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("padd", version.String())
 		return
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
@@ -75,7 +83,7 @@ func main() {
 		if !report.OK() {
 			for _, s := range report.Schemes {
 				for _, m := range s.Mismatches {
-					fmt.Fprintf(os.Stderr, "%s: %s\n", s.Scheme, m)
+					logger.Error("replay mismatch", "scheme", s.Scheme, "detail", m)
 				}
 			}
 			prof.Stop()
@@ -85,12 +93,23 @@ func main() {
 		return
 	}
 
+	// The daemon's API server uses its own mux, so the default mux is
+	// free for the pprof handlers the blank import registered.
+	if *pprofAddr != "" {
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof server", "err", err)
+			}
+		}()
+	}
+
 	mgr := padd.NewManager()
 	srv := &http.Server{Addr: *addr, Handler: padd.NewServer(mgr)}
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("padd listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -100,7 +119,7 @@ func main() {
 	case err := <-errc:
 		fatal(err)
 	case sig := <-sigc:
-		fmt.Printf("caught %v; draining sessions\n", sig)
+		logger.Info("draining sessions", "signal", sig.String())
 	}
 
 	// Stop accepting requests, then drain every session so all
@@ -108,12 +127,12 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "http shutdown:", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	if err := mgr.Shutdown(ctx); err != nil {
 		fatal(fmt.Errorf("draining sessions: %w", err))
 	}
-	fmt.Println("drained; bye")
+	logger.Info("drained")
 }
 
 func fatal(err error) {

@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -47,16 +49,23 @@ func main() {
 		microFrac   = flag.Float64("micro-fraction", 0.01, "μDEB energy as a fraction of the rack battery (uDEB/PAD)")
 		stopOnTrip  = flag.Bool("stop-on-trip", true, "end the run at the first breaker trip")
 		compare     = flag.Bool("compare", false, "run all six schemes and chart their survival")
+		tracePath   = flag.String("trace", "", "write an engine event trace to this file for cmd/padtrace (with -compare, the scheme name is inserted before the extension)")
+		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl (padtrace input) or chrome (Perfetto / chrome://tracing)")
 		chart       = flag.Bool("chart", false, "plot the cluster feed draw and mean battery SOC over the run")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for -compare (1 = sequential)")
 		rackWorkers = flag.Int("rack-workers", 0, "intra-run rack-kernel goroutines (0/1 = serial; results are bit-identical either way, worthwhile only for large clusters)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
+	logFlags := obs.AddLogFlags(flag.CommandLine)
 	prof = profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("padsim", version.String())
 		return
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
@@ -78,6 +87,10 @@ func main() {
 		StopOnTrip:            *stopOnTrip,
 		Workers:               *rackWorkers,
 	}
+	logger.Debug("scenario configured",
+		"scheme", *schemeName, "compare", *compare, "racks", *racks,
+		"servers_per_rack", *spr, "duration", *duration, "tick", *tick,
+		"attack_nodes", *attackNodes, "seed", *seed, "rack_workers", *rackWorkers)
 	// An Attack is stateful and stepped by the engine, so every run needs
 	// its own instance; mkAttack builds one from the flags.
 	mkAttack := func() *sim.AttackSpec {
@@ -106,7 +119,7 @@ func main() {
 
 	opts := schemes.Options{ServersPerRack: *spr}
 	if *compare {
-		runComparison(cfg, mkAttack, opts, *microFrac, *workers)
+		runComparison(cfg, mkAttack, opts, *microFrac, *workers, *tracePath, *traceFormat)
 		return
 	}
 	cfg.Attack = mkAttack()
@@ -124,6 +137,14 @@ func main() {
 		if cfg.RecordStep < cfg.Tick {
 			cfg.RecordStep = cfg.Tick
 		}
+	}
+	var trace *tracerFile
+	if *tracePath != "" {
+		trace, err = openTrace(*tracePath, *traceFormat)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Trace = trace.tr
 	}
 	res, err := sim.Run(cfg, scheme)
 	if err != nil {
@@ -144,6 +165,13 @@ func main() {
 	fmt.Printf("mean shed ratio:   %.4f\n", res.MeanShedRatio)
 	fmt.Printf("battery energy:    %v\n", res.EnergyFromBatteries)
 	fmt.Printf("μDEB energy:       %v\n", res.EnergyFromMicro)
+	if trace != nil {
+		events, dropped := trace.tr.Len(), trace.tr.Dropped()
+		if err := trace.close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:             %s (%d events, %d dropped)\n", *tracePath, events, dropped)
+	}
 	if *chart && res.Recording != nil {
 		fmt.Println()
 		renderTimeline(res.Recording)
@@ -187,13 +215,55 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// tracerFile couples a run's tracer to the file backing its sink so the
+// two close together.
+type tracerFile struct {
+	tr *obs.Tracer
+	f  *os.File
+}
+
+// openTrace creates path and attaches a fresh tracer flushing to it in
+// the flagged format.
+func openTrace(path, format string) (*tracerFile, error) {
+	var mk func(*os.File) obs.Sink
+	switch format {
+	case "jsonl":
+		mk = func(f *os.File) obs.Sink { return obs.NewJSONLSink(f) }
+	case "chrome":
+		mk = func(f *os.File) obs.Sink { return obs.NewChromeSink(f) }
+	default:
+		return nil, fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", format)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &tracerFile{tr: obs.NewTracer(0, mk(f)), f: f}, nil
+}
+
+// close flushes the trace footer and closes the file.
+func (t *tracerFile) close() error {
+	if err := t.tr.Close(); err != nil {
+		t.f.Close()
+		return err
+	}
+	return t.f.Close()
+}
+
+// comparePath derives the per-scheme trace path under -compare by
+// inserting the scheme name before the extension: run.trace -> run.PAD.trace.
+func comparePath(path, scheme string) string {
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + "." + scheme + ext
+}
+
 // runComparison executes the same scenario under all six schemes in the
 // worker pool and prints a survival bar chart. Each run gets its own
 // Config copy and a fresh Attack instance (the Attack is stateful), so
 // every scheme faces the identical scenario and the bars are independent
 // of the worker count.
 func runComparison(base sim.Config, mkAttack func() *sim.AttackSpec,
-	opts schemes.Options, microFrac float64, workers int) {
+	opts schemes.Options, microFrac float64, workers int, tracePath, traceFormat string) {
 	type entry struct {
 		name  string
 		mk    func() sim.Scheme
@@ -219,7 +289,21 @@ func runComparison(base sim.Config, mkAttack func() *sim.AttackSpec,
 				if e.micro {
 					cfg.MicroDEBFactory = schemes.MicroDEBFactory(microFrac)
 				}
-				return sim.Run(cfg, e.mk())
+				if tracePath == "" {
+					return sim.Run(cfg, e.mk())
+				}
+				// Each concurrent run writes its own per-scheme trace file
+				// through its own tracer; goroutine confinement holds.
+				trace, err := openTrace(comparePath(tracePath, e.name), traceFormat)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Trace = trace.tr
+				res, err := sim.Run(cfg, e.mk())
+				if cerr := trace.close(); err == nil {
+					err = cerr
+				}
+				return res, err
 			},
 		})
 	}
@@ -238,6 +322,11 @@ func runComparison(base sim.Config, mkAttack func() *sim.AttackSpec,
 	}
 	if err := chart.Render(os.Stdout); err != nil {
 		fatal(err)
+	}
+	if tracePath != "" {
+		for _, e := range entries {
+			fmt.Printf("trace: %-5s %s\n", e.name, comparePath(tracePath, e.name))
+		}
 	}
 }
 

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// writeSample writes a tiny but fully-featured JSONL trace to a file and
+// returns its path.
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sample.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(0, obs.NewJSONLSink(f))
+	tr.SetMeta(obs.Meta{Scheme: "PAD", Tick: 100 * time.Millisecond, Racks: 4, ServersPerRack: 10, Ticks: 100})
+	for _, e := range []obs.Event{
+		{Tick: 0, Rack: -1, Kind: obs.KindLevel, A: 0, B: 1},
+		{Tick: 10, Rack: -1, Kind: obs.KindAttackPhase, A: 0, B: 1},
+		{Tick: 14, Rack: -1, Kind: obs.KindLevel, A: 1, B: 2},
+		{Tick: 20, Rack: 2, Kind: obs.KindMarginLow, A: 250, B: 2200},
+		{Tick: 30, Rack: -1, Kind: obs.KindShed, A: 3, B: 500},
+		{Tick: 40, Rack: 1, Kind: obs.KindOverload, A: 2100, B: 2052},
+	} {
+		tr.Emit(e)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadAndTable(t *testing.T) {
+	s, err := load(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Meta.Scheme != "PAD" || s.Events != 6 || s.Dropped != 0 {
+		t.Fatalf("load: %+v", s.Summary)
+	}
+	if want := 400 * time.Millisecond; len(s.Phases) != 1 || s.Phases[0].Detection != want {
+		t.Fatalf("phases = %+v, want detection %v", s.Phases, want)
+	}
+
+	var buf bytes.Buffer
+	if err := writeTable(&buf, []traceSummary{s}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	// The shed set of 3 servers holds from tick 30 to the run end at tick
+	// 100: 3 × 7 s = 21 srv·s.
+	for _, frag := range []string{"PAD", "400ms", "250 W (rack 2)", "1 (max 3, 21.0 srv·s)"} {
+		if !strings.Contains(lines[1], frag) {
+			t.Fatalf("table row missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s, err := load(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeCSV(&buf, []traceSummary{s}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	head := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(head) != len(row) {
+		t.Fatalf("header has %d fields, row has %d", len(head), len(row))
+	}
+	cell := func(name string) string {
+		for i, h := range head {
+			if h == name {
+				return row[i]
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return ""
+	}
+	if cell("scheme") != "PAD" || cell("detect_phase1_s") != "0.4" ||
+		cell("detect_phase2_s") != "" || cell("min_margin_w") != "250" ||
+		cell("shed_server_s") != "21" || cell("overloads") != "1" {
+		t.Fatalf("csv row: %v", lines[1])
+	}
+}

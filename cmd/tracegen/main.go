@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/trace"
 	"repro/internal/version"
@@ -32,11 +33,16 @@ func main() {
 		out         = flag.String("o", "", "output file (default stdout)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
+	logFlags := obs.AddLogFlags(flag.CommandLine)
 	prof = profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("tracegen", version.String())
 		return
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
@@ -70,8 +76,8 @@ func main() {
 	if err := trace.Write(w, tr); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "tracegen: %d tasks over %d machines, horizon %v\n",
-		len(tr.Tasks), tr.Machines, *horizon)
+	logger.Info("trace generated",
+		"tasks", len(tr.Tasks), "machines", tr.Machines, "horizon", *horizon)
 }
 
 func fatal(err error) {

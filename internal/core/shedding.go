@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/units"
 )
@@ -19,6 +18,13 @@ type Shedder struct {
 	// PerServerSaving is the power recovered by sleeping one server
 	// (active power minus sleep power).
 	PerServerSaving units.Watts
+
+	// counts and order are reusable scratch: PAD calls Plan every tick
+	// while shedding is engaged, and the engine's hot loop is supposed to
+	// be allocation-free in steady state (gated by benchcheck
+	// -zero-allocs on BenchmarkStepperTick).
+	counts []int
+	order  []int
 }
 
 // NewShedder builds a shedding planner.
@@ -43,9 +49,18 @@ func NewShedder(maxRatio float64, perServerSaving units.Watts) (*Shedder, error)
 // contribution.
 //
 // It returns the per-rack shed counts and the total power recovered.
+// The counts slice is scratch owned by the Shedder: it stays valid only
+// until the next Plan call.
 func (s *Shedder) Plan(shortfall units.Watts, socs []float64, serversPerRack, totalServers int) ([]int, units.Watts) {
 	n := len(socs)
-	counts := make([]int, n)
+	if cap(s.counts) < n {
+		s.counts = make([]int, n)
+		s.order = make([]int, n)
+	}
+	counts := s.counts[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
 	if shortfall <= 0 || n == 0 || serversPerRack <= 0 || totalServers <= 0 {
 		return counts, 0
 	}
@@ -53,13 +68,17 @@ func (s *Shedder) Plan(shortfall units.Watts, socs []float64, serversPerRack, to
 	if budget == 0 {
 		return counts, 0
 	}
-	order := make([]int, n)
+	order := s.order[:n]
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return socs[order[a]] < socs[order[b]]
-	})
+	// Stable insertion sort, vulnerable (lowest SOC) first: the rack
+	// count is small, and unlike sort.SliceStable this allocates nothing.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && socs[order[j]] < socs[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
 	var recovered units.Watts
 	shed := 0
 	for _, idx := range order {

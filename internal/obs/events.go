@@ -1,0 +1,127 @@
+// Package obs is the engine's observability layer: structured per-tick
+// event tracing, a Prometheus-style metrics registry, structured-logging
+// flag plumbing, and offline trace analysis.
+//
+// Everything in this package obeys two contracts the simulator imposes:
+//
+//   - Zero overhead when disabled. A nil *Tracer is a valid tracer whose
+//     Emit is a nil-check and a return; the engine's hot loop never
+//     allocates or formats anything on behalf of tracing.
+//   - Determinism. Events carry simulation time only (tick indices) —
+//     never wall clock — so a traced run's event stream is a pure
+//     function of the run's inputs, bit-identical across worker counts
+//     and across machines. All rendering (JSON, Chrome trace) happens at
+//     flush time, outside the tick loop.
+package obs
+
+import "time"
+
+// Kind classifies a trace event. Kinds are stable small integers so the
+// on-ring representation stays fixed-size; String gives the wire name
+// used by the sinks.
+type Kind uint8
+
+// Event kinds. The A/B payload meaning is per kind, documented here.
+const (
+	// KindLevel is a security-level transition: A = old level, B = new
+	// level (0 old level means the run's initial level assignment).
+	KindLevel Kind = iota + 1
+	// KindTrip is a breaker trip: Rack is the feed (-1 for the cluster
+	// PDU), A = draw at trip, B = the breaker's rated power.
+	KindTrip
+	// KindOverload is a rising edge of rack draw above the tolerated
+	// overload limit (the paper's effective-attack count): A = draw,
+	// B = the tolerated limit.
+	KindOverload
+	// KindHeat is a breaker thermal accumulator crossing half its trip
+	// threshold on the way up — the early warning that spike trains are
+	// accumulating toward a trip: A = heat, B = trip threshold.
+	KindHeat
+	// KindMarginLow is a new run-minimum breaker margin: Rack is the
+	// binding feed (-1 for the PDU), A = margin in watts, B = the feed's
+	// rated power.
+	KindMarginLow
+	// KindVDEBAlloc is one Algorithm-1 refresh of the vDEB pool:
+	// A = pool-wide shave demand in watts, B = total discharge capacity
+	// actually allocated.
+	KindVDEBAlloc
+	// KindMicroShave is a μDEB absorbing a hidden spike on one rack:
+	// A = energy shaved this tick in joules, B = the rack's grid draw
+	// after shaving.
+	KindMicroShave
+	// KindShed is a change in the cluster shed set: A = servers held
+	// asleep, B = demand watts displaced. A 0/0 event releases shedding.
+	KindShed
+	// KindAttackPhase is the attack controller changing phase:
+	// A = old phase, B = new phase (virus.Phase values).
+	KindAttackPhase
+)
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	switch k {
+	case KindLevel:
+		return "level"
+	case KindTrip:
+		return "trip"
+	case KindOverload:
+		return "overload"
+	case KindHeat:
+		return "heat"
+	case KindMarginLow:
+		return "margin_low"
+	case KindVDEBAlloc:
+		return "vdeb_alloc"
+	case KindMicroShave:
+		return "micro_shave"
+	case KindShed:
+		return "shed"
+	case KindAttackPhase:
+		return "attack_phase"
+	default:
+		return "unknown"
+	}
+}
+
+// kindByName inverts String for the JSONL reader.
+func kindByName(s string) Kind {
+	for k := KindLevel; k <= KindAttackPhase; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}
+
+// Event is one fixed-size trace record. Tick is the 0-based index of
+// the simulation tick the event happened on; the event's simulation
+// offset is Tick × Meta.Tick. Rack is the rack index, or -1 for
+// cluster-scope events. A and B are the kind-specific payloads.
+type Event struct {
+	Tick int64
+	Rack int32
+	Kind Kind
+	A, B float64
+}
+
+// Meta describes the run a trace belongs to. The engine fills it when a
+// tracer is attached; sinks write it as the stream header so analysis
+// tools can convert ticks to time and label schemes.
+type Meta struct {
+	// Scheme is the power-management scheme under control.
+	Scheme string `json:"scheme"`
+	// Tick is the simulation step.
+	Tick time.Duration `json:"tick_ns"`
+	// Racks and ServersPerRack shape the traced cluster.
+	Racks          int `json:"racks"`
+	ServersPerRack int `json:"servers_per_rack"`
+	// Ticks is how many ticks the run actually advanced, finalized by the
+	// run driver when the run ends (0 when the driver never finalized —
+	// analysis falls back to the last event's tick).
+	Ticks int64 `json:"ticks,omitempty"`
+}
+
+// Time converts a tick index to its simulation offset.
+func (m Meta) Time(tick int64) time.Duration {
+	return time.Duration(tick) * m.Tick
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFlags holds the structured-logging flag values every binary in this
+// repo shares: -log-level selects verbosity and -log-format the
+// rendering. Register with AddLogFlags before flag.Parse, then build the
+// logger with Logger after.
+type LogFlags struct {
+	Level  string
+	Format string
+}
+
+// AddLogFlags registers -log-level and -log-format on fs and returns the
+// value holder.
+func AddLogFlags(fs *flag.FlagSet) *LogFlags {
+	lf := &LogFlags{}
+	fs.StringVar(&lf.Level, "log-level", "info", "log verbosity: debug, info, warn or error")
+	fs.StringVar(&lf.Format, "log-format", "text", "log output format: text or json")
+	return lf
+}
+
+// Logger builds the slog.Logger the parsed flags describe, writing to w
+// (conventionally os.Stderr, keeping stdout for program output), and
+// installs it as the process-wide slog default.
+func (lf *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(lf.Level)); err != nil {
+		return nil, fmt.Errorf("obs: bad -log-level %q (want debug, info, warn or error)", lf.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(lf.Format) {
+	case "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: bad -log-format %q (want text or json)", lf.Format)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l, nil
+}

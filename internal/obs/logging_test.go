@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestLogFlagsJSON(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	lf := AddLogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "warn", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	l, err := lf.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hidden")
+	l.Warn("shown", "k", 1)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 log line, got %d:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, lines[0])
+	}
+	if rec["msg"] != "shown" || rec["level"] != "WARN" || rec["k"] != float64(1) {
+		t.Fatalf("record: %v", rec)
+	}
+}
+
+func TestLogFlagsText(t *testing.T) {
+	lf := &LogFlags{Level: "debug", Format: "text"}
+	var buf bytes.Buffer
+	l, err := lf.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("dbg", "x", "y")
+	if !strings.Contains(buf.String(), "level=DEBUG") || !strings.Contains(buf.String(), "x=y") {
+		t.Fatalf("text output: %s", buf.String())
+	}
+}
+
+func TestLogFlagsErrors(t *testing.T) {
+	for _, lf := range []*LogFlags{
+		{Level: "chatty", Format: "text"},
+		{Level: "info", Format: "xml"},
+	} {
+		if _, err := lf.Logger(&bytes.Buffer{}); err == nil {
+			t.Fatalf("%+v: no error", lf)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/policytest"
+	"repro/internal/obs"
+)
+
+// TestSummarizePolicyTimeline drives the real Figure-9 policy through the
+// canonical policytest timeline, emits level events exactly the way the
+// engine does (initial assignment with old level 0, then transitions),
+// and checks the summarized dwell times against the timeline's expected
+// levels counted by hand from the same table.
+func TestSummarizePolicyTimeline(t *testing.T) {
+	steps := policytest.Timeline()
+	tick := 100 * time.Millisecond
+	meta := obs.Meta{Scheme: "PAD", Tick: tick, Racks: 22, ServersPerRack: 10, Ticks: int64(len(steps))}
+
+	tr := obs.NewTracer(0)
+	pol := core.NewPolicy(false, steps[0].In)
+	last := core.Level(0)
+	var events []obs.Event
+	for i, s := range steps {
+		lvl := pol.Step(s.In)
+		if lvl != s.Want {
+			t.Fatalf("step %d (%s): policy level %v, want %v", i, s.Name, lvl, s.Want)
+		}
+		if lvl != last {
+			e := obs.Event{Tick: int64(i), Rack: -1, Kind: obs.KindLevel, A: float64(last), B: float64(lvl)}
+			tr.Emit(e)
+			events = append(events, e)
+			last = lvl
+		}
+	}
+
+	// Expected dwell: one tick per timeline step, attributed to the level
+	// the step ends at (the engine emits the transition on the tick it
+	// happens, so the tick belongs to the new level).
+	var want [4]time.Duration
+	for _, s := range steps {
+		want[int(s.Want)] += tick
+	}
+
+	sum := obs.Summarize(meta, tr.Events(), obs.Footer{Events: len(events)})
+	if sum.Dwell != want {
+		t.Fatalf("dwell = %v, want %v", sum.Dwell, want)
+	}
+	if sum.Dwell[0] != 0 {
+		t.Fatal("timeline starts at L1 on tick 0; no time should be attributed to level 0")
+	}
+	total := sum.Dwell[1] + sum.Dwell[2] + sum.Dwell[3]
+	if total != time.Duration(len(steps))*tick {
+		t.Fatalf("dwell total %v does not cover the run (%d ticks)", total, len(steps))
+	}
+}
+
+// TestSummarizeSyntheticRun checks every other summary quantity on a
+// hand-built stream: per-phase time-to-detection, the shed integral and
+// engagement count, the run-minimum margin, and the event tallies.
+func TestSummarizeSyntheticRun(t *testing.T) {
+	tick := 100 * time.Millisecond
+	meta := obs.Meta{Scheme: "PAD", Tick: tick, Racks: 4, ServersPerRack: 10, Ticks: 50}
+	events := []obs.Event{
+		{Tick: 0, Rack: -1, Kind: obs.KindLevel, A: 0, B: 1},
+		{Tick: 3, Rack: 2, Kind: obs.KindMarginLow, A: 500, B: 2200},
+		{Tick: 10, Rack: -1, Kind: obs.KindAttackPhase, A: 0, B: 1},
+		{Tick: 10, Rack: -1, Kind: obs.KindVDEBAlloc, A: 1000, B: 900},
+		{Tick: 14, Rack: -1, Kind: obs.KindLevel, A: 1, B: 2},
+		{Tick: 20, Rack: -1, Kind: obs.KindAttackPhase, A: 1, B: 2},
+		{Tick: 20, Rack: -1, Kind: obs.KindVDEBAlloc, A: 1500, B: 1000},
+		{Tick: 21, Rack: 1, Kind: obs.KindMicroShave, A: 12, B: 1900},
+		{Tick: 22, Rack: -1, Kind: obs.KindShed, A: 5, B: 800},
+		{Tick: 23, Rack: 1, Kind: obs.KindMicroShave, A: 8, B: 1850},
+		{Tick: 24, Rack: -1, Kind: obs.KindMarginLow, A: 120, B: 18000},
+		{Tick: 24, Rack: 3, Kind: obs.KindOverload, A: 2100, B: 2052},
+		{Tick: 25, Rack: -1, Kind: obs.KindLevel, A: 2, B: 3},
+		{Tick: 30, Rack: -1, Kind: obs.KindShed, A: 0, B: 0},
+		{Tick: 40, Rack: 3, Kind: obs.KindTrip, A: 2300, B: 2052},
+	}
+	s := obs.Summarize(meta, events, obs.Footer{Events: len(events), Dropped: 2})
+
+	if s.Dropped != 2 || s.Events != len(events) {
+		t.Fatalf("accounting: %+v", s)
+	}
+	wantDwell := [4]time.Duration{0, 14 * tick, 11 * tick, 25 * tick}
+	if s.Dwell != wantDwell {
+		t.Fatalf("dwell = %v, want %v", s.Dwell, wantDwell)
+	}
+	wantPhases := []obs.PhaseDetection{
+		{Phase: 1, Start: 10 * tick, Detection: 4 * tick},
+		{Phase: 2, Start: 20 * tick, Detection: 5 * tick},
+	}
+	if len(s.Phases) != 2 || s.Phases[0] != wantPhases[0] || s.Phases[1] != wantPhases[1] {
+		t.Fatalf("phases = %+v, want %+v", s.Phases, wantPhases)
+	}
+	if s.ShedEngagements != 1 || s.MaxShedServers != 5 {
+		t.Fatalf("shed: %+v", s)
+	}
+	if want := time.Duration(5 * float64(8*tick)); s.ShedServerTime != want {
+		t.Fatalf("shed integral = %v, want %v", s.ShedServerTime, want)
+	}
+	if !s.MinMarginSet || s.MinMargin != 120 || s.MinMarginRack != -1 {
+		t.Fatalf("margin: %+v", s)
+	}
+	if s.Overloads != 1 || s.Trips != 1 || s.MicroShaves != 2 || s.MicroJoules != 20 ||
+		s.VDEBRefreshes != 2 || s.MaxShaveDemand != 1500 {
+		t.Fatalf("tallies: %+v", s)
+	}
+}
+
+// TestSummarizeUndetectedPhase pins the -1 sentinel: a phase with no
+// level escalation before the next phase (or the run end) is undetected.
+func TestSummarizeUndetectedPhase(t *testing.T) {
+	meta := obs.Meta{Scheme: "Conv", Tick: time.Second, Ticks: 100}
+	events := []obs.Event{
+		{Tick: 5, Rack: -1, Kind: obs.KindAttackPhase, A: 0, B: 1},
+		{Tick: 50, Rack: -1, Kind: obs.KindAttackPhase, A: 1, B: 2},
+	}
+	s := obs.Summarize(meta, events, obs.Footer{Events: 2})
+	if len(s.Phases) != 2 || s.Phases[0].Detection != -1 || s.Phases[1].Detection != -1 {
+		t.Fatalf("phases = %+v, want both undetected", s.Phases)
+	}
+	// A scheme with no level reports its whole run as level 0.
+	if s.Dwell[0] != 100*time.Second {
+		t.Fatalf("dwell[0] = %v, want full run", s.Dwell[0])
+	}
+}

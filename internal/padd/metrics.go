@@ -1,10 +1,11 @@
 package padd
 
 import (
-	"fmt"
 	"io"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // latencyBounds are the tick-latency histogram bucket upper bounds in
@@ -39,89 +40,81 @@ func (h *latencyHist) observe(d time.Duration) {
 	h.counts[len(latencyBounds)]++
 }
 
+// metricsRow is one session's scrape snapshot, paired with its ID.
+type metricsRow struct {
+	ID string
+	M  sessionMetrics
+}
+
 // WriteMetrics renders the Prometheus text exposition for every live
 // session. Hand-rolled: the container has no client library, and the
 // format is lines of `name{labels} value`.
 func (m *Manager) WriteMetrics(w io.Writer) {
 	sessions := m.List()
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID() < sessions[j].ID() })
-
-	fmt.Fprintf(w, "# HELP padd_up Whether the daemon is serving.\n# TYPE padd_up gauge\npadd_up 1\n")
-	fmt.Fprintf(w, "# HELP padd_sessions Number of live sessions.\n# TYPE padd_sessions gauge\npadd_sessions %d\n", len(sessions))
-
-	gauge := func(name, help string, value func(*sessionMetrics) (float64, bool)) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
-		for _, s := range sessions {
-			sm := s.metrics()
-			if v, ok := value(&sm); ok {
-				fmt.Fprintf(w, "%s{session=%q} %g\n", name, s.ID(), v)
-			}
-		}
+	rows := make([]metricsRow, len(sessions))
+	for i, s := range sessions {
+		rows[i] = metricsRow{ID: s.ID(), M: s.metrics()}
 	}
-	counter := func(name, help string, value func(*sessionMetrics) float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-		for _, s := range sessions {
-			sm := s.metrics()
-			fmt.Fprintf(w, "%s{session=%q} %g\n", name, s.ID(), value(&sm))
-		}
-	}
-	all := func(f func(*sessionMetrics) float64) func(*sessionMetrics) (float64, bool) {
-		return func(sm *sessionMetrics) (float64, bool) { return f(sm), true }
-	}
-
-	gauge("padd_session_soc", "Mean rack battery state of charge in [0,1].",
-		all(func(sm *sessionMetrics) float64 { return sm.MeanSOC }))
-	gauge("padd_session_min_soc", "Lowest rack battery state of charge in [0,1].",
-		all(func(sm *sessionMetrics) float64 { return sm.MinSOC }))
-	gauge("padd_session_micro_soc", "Mean μDEB state of charge in [0,1]; absent without μDEB hardware.",
-		func(sm *sessionMetrics) (float64, bool) { return sm.MeanMicroSOC, sm.MeanMicroSOC >= 0 })
-	gauge("padd_session_level", "PAD security level (1=Normal, 2=MinorIncident, 3=Emergency; 0 when the scheme has none).",
-		all(func(sm *sessionMetrics) float64 { return float64(sm.Level) }))
-	gauge("padd_session_shed_servers", "Servers held in deep sleep on the last tick.",
-		all(func(sm *sessionMetrics) float64 { return float64(sm.ShedServers) }))
-	gauge("padd_session_shed_watts", "Demand power displaced by shedding on the last tick.",
-		all(func(sm *sessionMetrics) float64 { return float64(sm.ShedWatts) }))
-	gauge("padd_session_grid_watts", "Cluster feed draw on the last tick.",
-		all(func(sm *sessionMetrics) float64 { return float64(sm.TotalGrid) }))
-	gauge("padd_session_breaker_margin_watts", "Smallest rated-minus-draw margin across untripped feeds.",
-		all(func(sm *sessionMetrics) float64 { return float64(sm.BreakerMargin) }))
-	gauge("padd_session_queue_depth", "Telemetry batches waiting in the ingest queue.",
-		all(func(sm *sessionMetrics) float64 { return float64(sm.QueueDepth) }))
-	gauge("padd_session_tripped", "1 once any breaker has tripped.",
-		all(func(sm *sessionMetrics) float64 {
-			if sm.Tripped {
-				return 1
-			}
-			return 0
-		}))
-	counter("padd_session_ticks_total", "Control ticks advanced.",
-		func(sm *sessionMetrics) float64 { return float64(sm.Ticks) })
-	counter("padd_session_accepted_samples_total", "Telemetry samples accepted into the queue.",
-		func(sm *sessionMetrics) float64 { return float64(sm.Accepted) })
-	counter("padd_session_rejected_batches_total", "Telemetry batches rejected with 429 backpressure.",
-		func(sm *sessionMetrics) float64 { return float64(sm.Rejected) })
-	counter("padd_session_coast_ticks_total", "Wall-clock ticks advanced on stale demand (late telemetry).",
-		func(sm *sessionMetrics) float64 { return float64(sm.Coasts) })
-	counter("padd_session_discarded_samples_total", "Samples discarded after the session finished.",
-		func(sm *sessionMetrics) float64 { return float64(sm.Discarded) })
-	counter("padd_session_anomalies_total", "Metering intervals the CUSUM detector flagged.",
-		func(sm *sessionMetrics) float64 { return float64(sm.Anomalies) })
-
-	fmt.Fprintf(w, "# HELP padd_tick_latency_seconds Wall time per control tick.\n# TYPE padd_tick_latency_seconds histogram\n")
-	for _, s := range sessions {
-		sm := s.metrics()
-		cum := uint64(0)
-		for i, b := range latencyBounds {
-			cum += sm.Hist.counts[i]
-			fmt.Fprintf(w, "padd_tick_latency_seconds_bucket{session=%q,le=%q} %d\n", s.ID(), formatBound(b), cum)
-		}
-		cum += sm.Hist.counts[len(latencyBounds)]
-		fmt.Fprintf(w, "padd_tick_latency_seconds_bucket{session=%q,le=\"+Inf\"} %d\n", s.ID(), cum)
-		fmt.Fprintf(w, "padd_tick_latency_seconds_sum{session=%q} %g\n", s.ID(), sm.Hist.sum)
-		fmt.Fprintf(w, "padd_tick_latency_seconds_count{session=%q} %d\n", s.ID(), sm.Hist.total)
-	}
+	writeSessionMetrics(w, rows)
 }
 
-func formatBound(b float64) string {
-	return fmt.Sprintf("%g", b)
+// writeSessionMetrics renders the exposition for the given snapshot rows
+// (sorted by ID), built on the shared obs.Registry so padd and the other
+// instrumented subsystems speak one format. Split from WriteMetrics so
+// the byte format is testable against deterministic synthetic rows; the
+// padd golden test pins it against the pre-registry output.
+func writeSessionMetrics(w io.Writer, rows []metricsRow) {
+	reg := obs.NewRegistry()
+	reg.Gauge("padd_up", "Whether the daemon is serving.", "").Set("", 1)
+	reg.Gauge("padd_sessions", "Number of live sessions.", "").Set("", float64(len(rows)))
+
+	gauge := func(name, help string) *obs.Family { return reg.Gauge(name, help, "session") }
+	counter := func(name, help string) *obs.Family { return reg.Counter(name, help, "session") }
+
+	soc := gauge("padd_session_soc", "Mean rack battery state of charge in [0,1].")
+	minSOC := gauge("padd_session_min_soc", "Lowest rack battery state of charge in [0,1].")
+	microSOC := gauge("padd_session_micro_soc", "Mean μDEB state of charge in [0,1]; absent without μDEB hardware.")
+	level := gauge("padd_session_level", "PAD security level (1=Normal, 2=MinorIncident, 3=Emergency; 0 when the scheme has none).")
+	shedServers := gauge("padd_session_shed_servers", "Servers held in deep sleep on the last tick.")
+	shedWatts := gauge("padd_session_shed_watts", "Demand power displaced by shedding on the last tick.")
+	gridWatts := gauge("padd_session_grid_watts", "Cluster feed draw on the last tick.")
+	margin := gauge("padd_session_breaker_margin_watts", "Smallest rated-minus-draw margin across untripped feeds.")
+	queueDepth := gauge("padd_session_queue_depth", "Telemetry batches waiting in the ingest queue.")
+	tripped := gauge("padd_session_tripped", "1 once any breaker has tripped.")
+	ticks := counter("padd_session_ticks_total", "Control ticks advanced.")
+	accepted := counter("padd_session_accepted_samples_total", "Telemetry samples accepted into the queue.")
+	rejected := counter("padd_session_rejected_batches_total", "Telemetry batches rejected with 429 backpressure.")
+	coasts := counter("padd_session_coast_ticks_total", "Wall-clock ticks advanced on stale demand (late telemetry).")
+	discarded := counter("padd_session_discarded_samples_total", "Samples discarded after the session finished.")
+	anomalies := counter("padd_session_anomalies_total", "Metering intervals the CUSUM detector flagged.")
+	latency := reg.Histogram("padd_tick_latency_seconds", "Wall time per control tick.", "session", latencyBounds[:])
+
+	for i := range rows {
+		id, sm := rows[i].ID, &rows[i].M
+		soc.Set(id, sm.MeanSOC)
+		minSOC.Set(id, sm.MinSOC)
+		if sm.MeanMicroSOC >= 0 {
+			microSOC.Set(id, sm.MeanMicroSOC)
+		}
+		level.Set(id, float64(sm.Level))
+		shedServers.Set(id, float64(sm.ShedServers))
+		shedWatts.Set(id, float64(sm.ShedWatts))
+		gridWatts.Set(id, float64(sm.TotalGrid))
+		margin.Set(id, float64(sm.BreakerMargin))
+		queueDepth.Set(id, float64(sm.QueueDepth))
+		if sm.Tripped {
+			tripped.Set(id, 1)
+		} else {
+			tripped.Set(id, 0)
+		}
+		ticks.Set(id, float64(sm.Ticks))
+		accepted.Set(id, float64(sm.Accepted))
+		rejected.Set(id, float64(sm.Rejected))
+		coasts.Set(id, float64(sm.Coasts))
+		discarded.Set(id, float64(sm.Discarded))
+		anomalies.Set(id, float64(sm.Anomalies))
+		latency.SetHistogram(id, sm.Hist.counts[:], sm.Hist.sum, sm.Hist.total)
+	}
+	reg.Write(w) //nolint:errcheck // bytes.Buffer / http writers; matches the historical best-effort scrape
 }

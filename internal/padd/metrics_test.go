@@ -1,0 +1,104 @@
+package padd
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRows is a deterministic scrape: two sessions, one with μDEB
+// hardware and one without (pinning the absent-gauge path), with
+// hand-set histogram contents so no wall clock leaks into the bytes.
+func goldenRows() []metricsRow {
+	a := sessionMetrics{
+		Ticks:         1200,
+		Now:           2 * time.Minute,
+		Level:         core.Level2,
+		MeanSOC:       0.8125,
+		MinSOC:        0.25,
+		MeanMicroSOC:  0.5,
+		TotalGrid:     41250.5,
+		ShedWatts:     512,
+		BreakerMargin: 1234.75,
+		ShedServers:   3,
+		Tripped:       false,
+		Coasts:        7,
+		Discarded:     2,
+		Anomalies:     1,
+		Accepted:      4800,
+		Rejected:      5,
+		QueueDepth:    2,
+	}
+	a.Hist.counts = [numLatencyBounds + 1]uint64{3, 10, 40, 200, 800, 100, 40, 5, 1, 0, 0, 0, 0, 0, 0, 1}
+	a.Hist.sum = 0.32125
+	a.Hist.total = 1200
+
+	b := sessionMetrics{
+		Ticks:         50,
+		Level:         0,
+		MeanSOC:       1,
+		MinSOC:        1,
+		MeanMicroSOC:  -1, // no μDEB hardware: padd_session_micro_soc absent
+		TotalGrid:     1000,
+		BreakerMargin: 9000,
+		Tripped:       true,
+		Accepted:      50,
+	}
+	b.Hist.counts = [numLatencyBounds + 1]uint64{50}
+	b.Hist.sum = 0.0003
+	b.Hist.total = 50
+
+	return []metricsRow{{ID: "alpha", M: a}, {ID: "beta", M: b}}
+}
+
+// TestMetricsGolden pins the Prometheus text exposition byte-for-byte.
+// The format is an interface monitoring dashboards scrape; any change to
+// names, ordering, label layout or number formatting must be deliberate
+// (regenerate with -update) and called out.
+func TestMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	writeSessionMetrics(&buf, goldenRows())
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("metrics exposition drifted from golden (regenerate with -update if deliberate):\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestMetricsEmpty covers the no-session scrape: every family still
+// declares itself so dashboards see the schema before the first session.
+func TestMetricsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	writeSessionMetrics(&buf, nil)
+	out := buf.String()
+	for _, want := range []string{
+		"padd_up 1\n", "padd_sessions 0\n",
+		"# TYPE padd_session_soc gauge\n",
+		"# TYPE padd_session_ticks_total counter\n",
+		"# TYPE padd_tick_latency_seconds histogram\n",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("empty exposition missing %q:\n%s", want, out)
+		}
+	}
+}

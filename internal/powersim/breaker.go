@@ -141,6 +141,10 @@ func (b *Breaker) TrippedAt() time.Duration { return b.trippedAt }
 // Heat returns the current thermal accumulator value (diagnostics).
 func (b *Breaker) Heat() float64 { return b.heat }
 
+// TripThreshold returns the effective thermal trip threshold — TripHeat,
+// or its documented default when the field is zero (diagnostics).
+func (b *Breaker) TripThreshold() float64 { return b.tripHeat() }
+
 // Reset re-closes the breaker and clears its thermal state (an operator
 // action after an outage).
 func (b *Breaker) Reset() {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -64,11 +65,12 @@ func (p *vdebPlanner) refresh(view sim.ClusterView) {
 	}
 	alloc := p.ctrl.AllocateInto(p.alloc, socs, pShave)
 	expected := p.expected
-	var expectedSum units.Watts
+	var expectedSum, allocSum units.Watts
 	for i, v := range view.Racks {
 		cap_ := units.Min(alloc[i], v.BatteryMax)
 		cap_ = units.Min(cap_, v.Demand)
 		p.allocCap[i] = cap_
+		allocSum += cap_
 		expected[i] = v.Demand - cap_
 		// When capping or shedding already holds the rack's actual draw
 		// below its raw demand (the iPDU outlet meter reports LastDraw),
@@ -79,6 +81,19 @@ func (p *vdebPlanner) refresh(view sim.ClusterView) {
 			expected[i] = v.LastDraw
 		}
 		expectedSum += expected[i]
+	}
+	// Each Algorithm-1 refresh is a planning decision worth a trace
+	// record: the pool-wide shave demand against the discharge capacity
+	// the pool could actually commit (runs at the 1 s refresh cadence,
+	// not per tick, and Emit is nil-safe when tracing is off).
+	if view.Trace != nil && view.Tick > 0 {
+		view.Trace.Emit(obs.Event{
+			Tick: int64(view.Time / view.Tick),
+			Rack: -1,
+			Kind: obs.KindVDEBAlloc,
+			A:    float64(pShave),
+			B:    float64(allocSum),
+		})
 	}
 	slack := view.PDUBudget - expectedSum
 	perRackBonus := units.Watts(0)

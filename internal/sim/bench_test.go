@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -114,6 +115,30 @@ func BenchmarkSimRunPADRecord(b *testing.B)  { benchRun(b, newPAD, true, true) }
 func BenchmarkStepperTick(b *testing.B) {
 	cfg := benchConfig(false, false)
 	cfg.Duration = time.Duration(b.N+1) * 100 * time.Millisecond
+	st, err := sim.NewStepper(cfg, newPAD())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepperTickTraced is BenchmarkStepperTick with an event
+// tracer attached — the marginal per-tick price of tracing. Events stay
+// in the ring (no sinks), exactly as during a traced run's tick loop;
+// steady-state ticks emit nothing (transition-style events fire on
+// edges), so the delta over the untraced benchmark is the cost of the
+// engine's trace-edge bookkeeping, and allocs/op must stay 0.
+func BenchmarkStepperTickTraced(b *testing.B) {
+	cfg := benchConfig(false, false)
+	cfg.Duration = time.Duration(b.N+1) * 100 * time.Millisecond
+	cfg.Trace = obs.NewTracer(0)
 	st, err := sim.NewStepper(cfg, newPAD())
 	if err != nil {
 		b.Fatal(err)

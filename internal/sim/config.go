@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/powersim"
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -67,6 +68,11 @@ type ClusterView struct {
 	// of the Plan/PlanInto call and must never be retained or mutated by
 	// the scheme. Copy any values needed across ticks.
 	Racks []RackView
+	// Trace is the engine's event tracer, or nil when tracing is
+	// disabled. Schemes may Emit planning-decision events through it
+	// (obs.Tracer is nil-safe); they must not retain it past the Plan
+	// call or flush it — the run driver owns flushing.
+	Trace *obs.Tracer
 }
 
 // Action is a scheme's decision for one rack this tick.
@@ -192,6 +198,16 @@ type Config struct {
 	// parallelism of internal/runner. A Stepper built with Workers > 1
 	// holds goroutines until Close (Run closes automatically).
 	Workers int
+	// Trace attaches an event tracer: the engine emits structured
+	// events (level transitions, breaker heat/margin crossings and
+	// trips, vDEB allocation refreshes, μDEB spike absorption, shed
+	// changes, attack phase changes) into its preallocated ring. Nil
+	// disables tracing at zero cost. Tracing never changes simulation
+	// results, and the emitted stream is identical at any Workers count:
+	// every event is emitted from a serial phase, in tick and rack
+	// order, stamped with simulation time only. The engine never flushes
+	// the tracer — the caller does, outside the tick loop.
+	Trace *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {

@@ -158,6 +158,14 @@ func Run(cfg Config, scheme Scheme) (*Result, error) {
 			break
 		}
 	}
+	if cfg.Trace != nil {
+		// Finalize the trace header with the realized run length so
+		// analysis can account the final state's dwell time (a StopOnTrip
+		// run ends short of the configured horizon).
+		m := cfg.Trace.Meta()
+		m.Ticks = int64(st.Ticks())
+		cfg.Trace.SetMeta(m)
+	}
 	return st.Result(), nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/powersim"
 	"repro/internal/units"
 	"repro/internal/virus"
@@ -108,6 +109,20 @@ type Stepper struct {
 	lastShedCount int
 	lastShedWatts units.Watts
 	lastAttackU   float64
+
+	// Event tracing (nil tracer = disabled). Every emission point sits in
+	// a serial phase of the tick — the attack step, the planning phase,
+	// the reduce, the breaker pass — so the event stream is identical at
+	// any Workers count: kernel-phase observations (μDEB shaving) ride
+	// the per-rack SoA outputs and are emitted by the reduce in rack
+	// order. The edge-tracking state below is written only when tracing
+	// is on; it never feeds back into the simulation.
+	tracer         *obs.Tracer
+	traceLevel     core.Level
+	tracePhase     virus.Phase
+	traceHeatHigh  []bool // racks 0..n-1; index n is the cluster PDU
+	traceMargin    units.Watts
+	traceMarginSet bool
 }
 
 // NewStepper validates cfg and builds a stepper positioned before the
@@ -230,6 +245,17 @@ func NewStepper(cfg Config, scheme Scheme) (*Stepper, error) {
 	st.bg = newBGSampler(cfg.Background)
 	st.scratchScheme, st.hasScratch = scheme.(ScratchPlanner)
 	st.levelScheme, st.hasLevel = scheme.(LevelReporter)
+
+	st.tracer = cfg.Trace
+	if st.tracer != nil {
+		st.tracer.SetMeta(obs.Meta{
+			Scheme:         scheme.Name(),
+			Tick:           cfg.Tick,
+			Racks:          cfg.Racks,
+			ServersPerRack: cfg.ServersPerRack,
+		})
+		st.traceHeatHigh = make([]bool, cfg.Racks+1)
+	}
 	return st, nil
 }
 
@@ -285,6 +311,15 @@ func (st *Stepper) ComputeDemand() []float64 {
 			}
 		}
 		attackU = cfg.Attack.Attack.Step(cfg.Tick, virus.Observation{Capped: capped})
+		if st.tracer != nil {
+			if ph := cfg.Attack.Attack.Phase(); ph != st.tracePhase {
+				st.tracer.Emit(obs.Event{
+					Tick: int64(st.ticks), Rack: -1, Kind: obs.KindAttackPhase,
+					A: float64(st.tracePhase), B: float64(ph),
+				})
+				st.tracePhase = ph
+			}
+		}
 	}
 	st.lastAttackU = attackU
 
@@ -463,6 +498,7 @@ func (st *Stepper) Advance(demandU []float64) error {
 	}
 	cfg := st.cfg
 	now := st.now
+	tick := int64(st.ticks) // 0-based index of the tick being advanced
 	st.ticks++
 	st.curDemand = demandU
 
@@ -488,6 +524,7 @@ func (st *Stepper) Advance(demandU []float64) error {
 		TotalDemand: totalDemand,
 		PDUBudget:   st.pduBudget,
 		Racks:       st.views,
+		Trace:       st.tracer,
 	}
 	var actions []Action
 	if st.hasScratch {
@@ -503,6 +540,15 @@ func (st *Stepper) Advance(demandU []float64) error {
 			st.scheme.Name(), len(actions), cfg.Racks)
 	}
 	st.curActions = actions
+	if st.tracer != nil && st.hasLevel {
+		if lvl := st.levelScheme.Level(); lvl != st.traceLevel {
+			st.tracer.Emit(obs.Event{
+				Tick: tick, Rack: -1, Kind: obs.KindLevel,
+				A: float64(st.traceLevel), B: float64(lvl),
+			})
+			st.traceLevel = lvl
+		}
+	}
 
 	// 4a. Resolve soft-limit reassignments: default budgets where the
 	// scheme passed 0, proportional scale-down if the total exceeds the
@@ -574,10 +620,22 @@ func (st *Stepper) Advance(demandU []float64) error {
 		}
 		if st.micros[i] != nil {
 			st.res.EnergyFromMicro += st.rackMicro[i]
+			if st.tracer != nil && st.rackMicro[i] > 0 {
+				st.tracer.Emit(obs.Event{
+					Tick: tick, Rack: int32(i), Kind: obs.KindMicroShave,
+					A: float64(st.rackMicro[i]), B: float64(st.draws[i]),
+				})
+			}
 		}
 		totalGrid += st.draws[i]
 	}
 	st.shedSum += float64(shedCount) / float64(st.totalServers)
+	if st.tracer != nil && shedCount != st.lastShedCount {
+		st.tracer.Emit(obs.Event{
+			Tick: tick, Rack: -1, Kind: obs.KindShed,
+			A: float64(shedCount), B: float64(shedWatts),
+		})
+	}
 
 	// 5. Grant charge requests from remaining PDU headroom. Every
 	// battery gets exactly one state-advancing call per tick: racks
@@ -620,25 +678,52 @@ func (st *Stepper) Advance(demandU []float64) error {
 	for i := 0; i < cfg.Racks; i++ {
 		br := st.rackBreakers[i]
 		br.Rated = st.limits[i] * units.Watts(1+cfg.OvershootTolerance)
-		over := st.draws[i] > st.budgets[i]*units.Watts(1+cfg.OvershootTolerance)
+		tolerated := st.budgets[i] * units.Watts(1+cfg.OvershootTolerance)
+		over := st.draws[i] > tolerated
 		if over && !st.overLast[i] {
 			st.res.EffectiveAttacks++
+			if st.tracer != nil {
+				st.tracer.Emit(obs.Event{
+					Tick: tick, Rack: int32(i), Kind: obs.KindOverload,
+					A: float64(st.draws[i]), B: float64(tolerated),
+				})
+			}
 		}
 		st.overLast[i] = over
 		wasTripped := br.Tripped()
 		if br.Step(st.draws[i], cfg.Tick) && !wasTripped {
+			if st.tracer != nil {
+				st.tracer.Emit(obs.Event{
+					Tick: tick, Rack: int32(i), Kind: obs.KindTrip,
+					A: float64(st.draws[i]), B: float64(br.Rated),
+				})
+			}
 			if !st.res.Tripped {
 				st.res.Tripped = true
 				st.res.SurvivalTime = now + cfg.Tick
 				st.res.FirstTripRack = i
 			}
 		}
+		if st.tracer != nil {
+			st.traceBreaker(tick, int32(i), br, st.draws[i])
+		}
 	}
 	wasTripped := st.pduBreaker.Tripped()
-	if st.pduBreaker.Step(totalGrid, cfg.Tick) && !wasTripped && !st.res.Tripped {
-		st.res.Tripped = true
-		st.res.SurvivalTime = now + cfg.Tick
-		st.res.FirstTripRack = -1
+	if st.pduBreaker.Step(totalGrid, cfg.Tick) && !wasTripped {
+		if st.tracer != nil {
+			st.tracer.Emit(obs.Event{
+				Tick: tick, Rack: -1, Kind: obs.KindTrip,
+				A: float64(totalGrid), B: float64(st.pduBreaker.Rated),
+			})
+		}
+		if !st.res.Tripped {
+			st.res.Tripped = true
+			st.res.SurvivalTime = now + cfg.Tick
+			st.res.FirstTripRack = -1
+		}
+	}
+	if st.tracer != nil {
+		st.traceBreaker(tick, -1, st.pduBreaker, totalGrid)
 	}
 	if st.pduBreaker.Tripped() && cfg.RestoreAfter > 0 && !cfg.StopOnTrip {
 		st.pduDown += cfg.Tick
@@ -676,6 +761,38 @@ func (st *Stepper) Advance(demandU []float64) error {
 	}
 	st.now += cfg.Tick
 	return nil
+}
+
+// traceBreaker emits the thermal early-warning and run-minimum-margin
+// events for one feed (rack index, or -1 for the cluster PDU) right after
+// its breaker stepped. Only called when tracing is enabled; the edge
+// state it keeps is trace-only and never feeds back into the simulation.
+func (st *Stepper) traceBreaker(tick int64, rack int32, br *powersim.Breaker, draw units.Watts) {
+	idx := int(rack)
+	if rack < 0 {
+		idx = st.cfg.Racks
+	}
+	if br.Tripped() {
+		st.traceHeatHigh[idx] = false
+		return
+	}
+	threshold := br.TripThreshold()
+	hot := br.Heat() >= threshold/2
+	if hot && !st.traceHeatHigh[idx] {
+		st.tracer.Emit(obs.Event{
+			Tick: tick, Rack: rack, Kind: obs.KindHeat,
+			A: br.Heat(), B: threshold,
+		})
+	}
+	st.traceHeatHigh[idx] = hot
+	if m := br.Rated - draw; !st.traceMarginSet || m < st.traceMargin {
+		st.traceMargin = m
+		st.traceMarginSet = true
+		st.tracer.Emit(obs.Event{
+			Tick: tick, Rack: rack, Kind: obs.KindMarginLow,
+			A: float64(m), B: float64(br.Rated),
+		})
+	}
 }
 
 // Result finalizes the derived metrics over the ticks advanced so far

@@ -1,0 +1,123 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/virus"
+)
+
+// TestTracedRunBitIdentical pins the tracing layer's first contract: for
+// every scheme, attaching a tracer changes nothing about the simulation —
+// the Result (recordings, energy accounting, survival) is deeply equal to
+// the untraced run's. Tracing is observation only.
+func TestTracedRunBitIdentical(t *testing.T) {
+	for name, mk := range stepperMakers() {
+		t.Run(name, func(t *testing.T) {
+			base, err := sim.Run(workersConfig(), mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := workersConfig()
+			cfg.Trace = obs.NewTracer(0)
+			got, err := sim.Run(cfg, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("%s: traced run diverged from untraced run", name)
+			}
+			if cfg.Trace.Dropped() != 0 {
+				t.Fatalf("%s: ring overflowed (%d dropped) on a short run", name, cfg.Trace.Dropped())
+			}
+			if cfg.Trace.Len() == 0 {
+				t.Fatalf("%s: attacked run emitted no events", name)
+			}
+			meta := cfg.Trace.Meta()
+			if meta.Scheme != got.Scheme || meta.Racks != 8 || meta.ServersPerRack != 4 ||
+				meta.Tick != 100*time.Millisecond {
+				t.Fatalf("%s: engine filled wrong meta: %+v", name, meta)
+			}
+		})
+	}
+}
+
+// TestTraceWorkersIdentical pins the second contract: the event stream is
+// a pure function of the run, identical at every worker count. All
+// emission points live in serial phases (kernel-phase observations ride
+// the per-rack SoA outputs and are folded by the serial reduce), so this
+// must hold exactly, not approximately. Run under -race in CI.
+func TestTraceWorkersIdentical(t *testing.T) {
+	run := func(workers int) []obs.Event {
+		cfg := workersConfig()
+		cfg.Workers = workers
+		cfg.Trace = obs.NewTracer(0)
+		if _, err := sim.Run(cfg, stepperMakers()["PAD"]()); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.Trace.Events()
+	}
+	base := run(0)
+	if len(base) == 0 {
+		t.Fatal("attacked PAD run emitted no events")
+	}
+	for _, workers := range []int{1, 4, 8} {
+		if got := run(workers); !reflect.DeepEqual(base, got) {
+			t.Fatalf("Workers=%d event stream diverged from serial:\nserial %d events, parallel %d",
+				workers, len(base), len(got))
+		}
+	}
+}
+
+// TestTraceStreamShape sanity-checks the semantics of the emitted stream
+// on an attacked PAD run: ticks are non-decreasing, the attack walks
+// Preparation→Phase-I→Phase-II, the initial level assignment is emitted
+// with old level 0, and run-minimum margins only ever ratchet down.
+func TestTraceStreamShape(t *testing.T) {
+	cfg := workersConfig()
+	cfg.Trace = obs.NewTracer(0)
+	if _, err := sim.Run(cfg, stepperMakers()["PAD"]()); err != nil {
+		t.Fatal(err)
+	}
+	events := cfg.Trace.Events()
+
+	lastTick := int64(-1)
+	var phases, levels, margins []obs.Event
+	for _, e := range events {
+		if e.Tick < lastTick {
+			t.Fatalf("event stream not in tick order: %v after tick %d", e, lastTick)
+		}
+		lastTick = e.Tick
+		switch e.Kind {
+		case obs.KindAttackPhase:
+			phases = append(phases, e)
+		case obs.KindLevel:
+			levels = append(levels, e)
+		case obs.KindMarginLow:
+			margins = append(margins, e)
+		}
+	}
+	if len(phases) != 2 {
+		t.Fatalf("want 2 attack phase transitions, got %d: %v", len(phases), phases)
+	}
+	if phases[0].A != float64(virus.Preparation) || phases[0].B != float64(virus.PhaseI) ||
+		phases[1].A != float64(virus.PhaseI) || phases[1].B != float64(virus.PhaseII) {
+		t.Fatalf("phase walk wrong: %v", phases)
+	}
+	if len(levels) == 0 || levels[0].A != 0 {
+		t.Fatalf("initial level assignment missing or wrong: %v", levels)
+	}
+	min := 0.0
+	for i, e := range margins {
+		if i > 0 && e.A >= min {
+			t.Fatalf("margin_low not monotone: %v after %g", e, min)
+		}
+		min = e.A
+	}
+	if len(margins) == 0 {
+		t.Fatal("no margin_low events on an attacked run")
+	}
+}
