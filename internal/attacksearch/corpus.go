@@ -1,0 +1,70 @@
+package attacksearch
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/padd"
+	"repro/internal/schemes"
+)
+
+// LoadCorpus reads every *.json scenario under dir, in file-name order.
+// An invalid file fails the load — a corpus that silently skips broken
+// scenarios is a regression suite with holes in it.
+func LoadCorpus(dir string) ([]Scenario, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]Scenario, 0, len(paths))
+	for _, p := range paths {
+		s, err := LoadScenario(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FillExpectations evaluates the scenario against every scheme and pins
+// the outcomes into Expect — run when promoting a search result into the
+// corpus, and by the corpus test's -update-corpus mode. The pinned
+// numbers are exact for the architecture that generated them (CI runs
+// amd64); other architectures check structure, not bits.
+func FillExpectations(s *Scenario) error {
+	bg := s.Background()
+	s.Expect = make(map[string]Expectation, len(schemes.SchemeNames))
+	for _, name := range schemes.SchemeNames {
+		o, err := Evaluate(*s, name, bg)
+		if err != nil {
+			return fmt.Errorf("%s vs %s: %w", s.Name, name, err)
+		}
+		s.Expect[name] = Expectation{
+			Tripped:          o.Tripped,
+			TimeToTripS:      o.TimeToTripS,
+			EffectiveAttacks: o.EffectiveAttacks,
+		}
+	}
+	return nil
+}
+
+// ReplayConfig builds the padd online/offline equivalence check for a
+// corpus scenario: the daemon replays the scenario's own scheme with the
+// scenario's exact background trace and coordinated attack groups, and
+// the recordings must match the offline engine bit for bit.
+func ReplayConfig(s Scenario) padd.ReplayConfig {
+	return padd.ReplayConfig{
+		Schemes:        []string{s.Scheme},
+		Racks:          s.Racks,
+		ServersPerRack: s.ServersPerRack,
+		Duration:       s.Duration(),
+		Tick:           s.Tick(),
+		Seed:           s.Seed,
+		BGMean:         s.BGMean,
+		Background:     s.Background(),
+		AttackFactory:  s.AttackSpecs,
+	}
+}

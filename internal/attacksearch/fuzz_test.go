@@ -1,0 +1,63 @@
+package attacksearch
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioRoundTrip hardens the corpus file format: whatever bytes
+// the fuzzer invents, DecodeScenario must either reject them or return a
+// scenario that (a) passed Validate — so no NaN, ±Inf or out-of-range
+// parameter survives into the engine, (b) can build its campaign and
+// attack specs without panicking, and (c) re-encodes to a document that
+// decodes back to the identical value. Property (c) is what makes the
+// checked-in corpus trustworthy: a file that loads is exactly the
+// scenario that was saved.
+func FuzzScenarioRoundTrip(f *testing.F) {
+	seed := func(s Scenario) {
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(validScenario())
+	coordinated := validScenario()
+	coordinated.Groups = 4
+	coordinated.PhaseOffsetMS = 7750
+	coordinated.Expect = map[string]Expectation{"Conv": {Tripped: true, TimeToTripS: 9.1}}
+	seed(coordinated)
+	// Hostile corners the decoder must reject cleanly.
+	f.Add([]byte(`{"version":1,"racks":1e9}`))
+	f.Add([]byte(`{"version":1,"peak_fraction":1e999}`))
+	f.Add([]byte(`{"version":1,"duration_s":-1,"unknown":true}`))
+	f.Add([]byte(`{}{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeScenario(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that decoded is valid by construction; building the
+		// attack machinery from it must succeed.
+		specs, err := s.AttackSpecs()
+		if err != nil {
+			t.Fatalf("valid scenario failed to build attacks: %v", err)
+		}
+		if len(specs) != s.Groups {
+			t.Fatalf("%d specs for %d groups", len(specs), s.Groups)
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := DecodeScenario(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding did not decode: %v", err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round trip changed the scenario:\nin  %+v\nout %+v", s, again)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package attacksearch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Report is one search's full output: per-scheme results in search
+// order, plus the inputs that reproduce it.
+type Report struct {
+	// Seed, Budget and Env echo the search configuration.
+	Seed    uint64         `json:"seed"`
+	Budget  int            `json:"budget"`
+	Env     Env            `json:"-"`
+	Schemes []SchemeResult `json:"schemes"`
+}
+
+// SchemeResult is one scheme's robustness characterization.
+type SchemeResult struct {
+	// Scheme names the defense.
+	Scheme string `json:"scheme"`
+	// Best is the highest-scoring attack found (ties break toward the
+	// earlier evaluation).
+	Best Evaluation `json:"best"`
+	// FastestTrip is the tripping attack with the smallest time-to-trip,
+	// or nil when no evaluated attack tripped — the scheme held the
+	// whole explored space.
+	FastestTrip *Evaluation `json:"fastest_trip,omitempty"`
+	// MaxStealthDrain is the attack that extracted the most battery
+	// energy while staying fully undetected (no trip, zero effective
+	// attacks), or nil when every candidate surfaced somehow.
+	MaxStealthDrain *Evaluation `json:"max_stealth_drain,omitempty"`
+	// MinMarginW is the closest any untripped candidate pushed a feed to
+	// its protection limit, in watts.
+	MinMarginW float64 `json:"min_margin_w"`
+	// Frontier holds the best evaluation per coordination level (groups
+	// ascending, levels with no evaluations omitted) — how much each
+	// additional phase-locked group buys the attacker against this
+	// scheme.
+	Frontier []Evaluation `json:"frontier"`
+	// Evals lists every evaluation in search order.
+	Evals []Evaluation `json:"-"`
+}
+
+// finalize derives the summary fields from the evaluation list.
+func (sr *SchemeResult) finalize(env Env) {
+	byGroups := map[int]int{} // groups → best eval index
+	sr.MinMarginW = float64(rackNameplate(Scenario{ServersPerRack: env.ServersPerRack}))
+	bestIdx := 0
+	for i, ev := range sr.Evals {
+		o := ev.Outcome
+		if o.Score > sr.Evals[bestIdx].Outcome.Score {
+			bestIdx = i
+		}
+		if o.Tripped && (sr.FastestTrip == nil || o.TimeToTripS < sr.FastestTrip.Outcome.TimeToTripS) {
+			sr.FastestTrip = &sr.Evals[i]
+		}
+		if !o.Tripped && o.EffectiveAttacks == 0 &&
+			(sr.MaxStealthDrain == nil || o.DrainJ > sr.MaxStealthDrain.Outcome.DrainJ) {
+			sr.MaxStealthDrain = &sr.Evals[i]
+		}
+		if !o.Tripped && o.StealthMarginW < sr.MinMarginW {
+			sr.MinMarginW = o.StealthMarginW
+		}
+		g := ev.Scenario.Groups
+		if j, ok := byGroups[g]; !ok || o.Score > sr.Evals[j].Outcome.Score {
+			byGroups[g] = i
+		}
+	}
+	sr.Best = sr.Evals[bestIdx]
+	sr.Frontier = sr.Frontier[:0]
+	maxGroups := env.Racks
+	for g := 1; g <= maxGroups; g++ { // ascending groups, not map order
+		if i, ok := byGroups[g]; ok {
+			sr.Frontier = append(sr.Frontier, sr.Evals[i])
+		}
+	}
+}
+
+// frontierHeader is the robustness-frontier CSV schema.
+const frontierHeader = "scheme,groups,peak,sustain,width_s,spikes_per_min,phase_jitter,ramp_ms,offset_ms," +
+	"score,tripped,time_to_trip_s,effective_attacks,drain_kj,stealth_margin_w\n"
+
+// WriteFrontierCSV writes the per-scheme robustness frontier: one row
+// per (scheme, coordination level), each the best attack the search
+// found at that level. Floats use shortest round-trip formatting, so
+// the bytes are a pure function of the search inputs.
+func WriteFrontierCSV(w io.Writer, rep *Report) error {
+	if _, err := io.WriteString(w, frontierHeader); err != nil {
+		return err
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, sr := range rep.Schemes {
+		for _, ev := range sr.Frontier {
+			s, o := ev.Scenario, ev.Outcome
+			row := fmt.Sprintf("%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%t,%s,%d,%s,%s\n",
+				sr.Scheme, s.Groups,
+				g(s.PeakFraction), g(s.SustainFraction), g(s.SpikeWidthMS/1000),
+				g(s.SpikesPerMinute), g(s.PhaseJitter), g(s.RampMS), g(s.PhaseOffsetMS),
+				g(o.Score), o.Tripped, g(o.TimeToTripS), o.EffectiveAttacks,
+				g(o.DrainJ/1000), g(o.StealthMarginW))
+			if _, err := io.WriteString(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteEvalsJSONL writes every evaluation of every scheme as one JSON
+// document per line, in search order — the raw material for offline
+// analysis of how the search moved through the space.
+func WriteEvalsJSONL(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	for _, sr := range rep.Schemes {
+		for _, ev := range sr.Evals {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summarize renders the human-readable per-scheme summary table.
+func Summarize(w io.Writer, rep *Report) error {
+	if _, err := fmt.Fprintf(w, "%-6s %8s %8s %7s %12s %14s %14s\n",
+		"scheme", "evals", "best", "tripped", "t-to-trip", "stealth-drain", "min-margin"); err != nil {
+		return err
+	}
+	for _, sr := range rep.Schemes {
+		trip, drain := "-", "-"
+		if sr.FastestTrip != nil {
+			trip = fmt.Sprintf("%.1fs", sr.FastestTrip.Outcome.TimeToTripS)
+		}
+		if sr.MaxStealthDrain != nil {
+			drain = fmt.Sprintf("%.1f kJ", sr.MaxStealthDrain.Outcome.DrainJ/1000)
+		}
+		if _, err := fmt.Fprintf(w, "%-6s %8d %8.4f %7v %12s %14s %12.0f W\n",
+			sr.Scheme, len(sr.Evals), sr.Best.Outcome.Score,
+			sr.Best.Outcome.Tripped, trip, drain, sr.MinMarginW); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package attacksearch
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Env fixes the parts of a search that are environment, not attack: the
+// cluster shape, the horizon, the background level, and the attacker's
+// footprint and patience. Everything the search optimizes lives in the
+// dimension vector; everything here is held constant so scores are
+// comparable across candidates.
+type Env struct {
+	// Racks and ServersPerRack shape the cluster. 0 selects 8×10 — large
+	// enough for multi-rack coordination to matter, small enough that a
+	// few thousand evaluations finish in seconds.
+	Racks          int
+	ServersPerRack int
+	// Tick is the simulation step. 0 selects 100 ms.
+	Tick time.Duration
+	// Duration is the per-evaluation horizon. 0 selects 5 minutes.
+	Duration time.Duration
+	// BGMean is the mean background utilization. 0 selects 0.30.
+	BGMean float64
+	// PrepS is group 0's preparation delay in seconds. 0 selects 2.
+	PrepS float64
+	// PatienceS bounds Phase I (the virus MaxPhaseI) in seconds, so a
+	// drain that never confirms capping still escalates within the
+	// horizon. 0 selects 90.
+	PatienceS float64
+	// NodesPerGroup is each group's compromised-server count. 0 selects
+	// 6 of the 10 servers on the group's rack.
+	NodesPerGroup int
+	// RestFraction is the virus Phase-II rest level. 0 selects 0.30.
+	RestFraction float64
+}
+
+func (e Env) withDefaults() Env {
+	if e.Racks == 0 {
+		e.Racks = 8
+	}
+	if e.ServersPerRack == 0 {
+		e.ServersPerRack = 10
+	}
+	if e.Tick == 0 {
+		e.Tick = 100 * time.Millisecond
+	}
+	if e.Duration == 0 {
+		e.Duration = 5 * time.Minute
+	}
+	if e.BGMean == 0 {
+		e.BGMean = 0.30
+	}
+	if e.PrepS == 0 {
+		e.PrepS = 2
+	}
+	if e.PatienceS == 0 {
+		e.PatienceS = 90
+	}
+	if e.NodesPerGroup == 0 {
+		e.NodesPerGroup = 6
+	}
+	if e.NodesPerGroup > e.ServersPerRack {
+		e.NodesPerGroup = e.ServersPerRack
+	}
+	if e.RestFraction == 0 {
+		e.RestFraction = 0.30
+	}
+	return e
+}
+
+// dim is one quantized search dimension. Quantization serves two
+// masters: the dedup cache (a revisited point is recognized exactly, no
+// float-noise near-duplicates) and determinism (every candidate is a
+// grid point, so canonical keys are stable strings).
+type dim struct {
+	name         string
+	lo, hi, step float64
+}
+
+// quant snaps v onto the dimension's grid, clamped to its range.
+func (d dim) quant(v float64) float64 {
+	if v < d.lo {
+		v = d.lo
+	}
+	if v > d.hi {
+		v = d.hi
+	}
+	q := d.lo + math.Round((v-d.lo)/d.step)*d.step
+	if q > d.hi {
+		q -= d.step
+	}
+	if q < d.lo {
+		q = d.lo
+	}
+	// Snap off accumulated binary noise (0.55+68×0.005 = 0.8900000000000001)
+	// so grid points print, serialize and dedup as the clean decimals the
+	// step sizes are written in. Every step is a multiple of 1e-6.
+	return math.Round(q*1e6) / 1e6
+}
+
+// Dimension indices into a candidate vector.
+const (
+	dimPeak = iota
+	dimWidthS
+	dimSPM
+	dimPhaseJitter
+	dimRampMS
+	dimGroups
+	dimOffsetMS
+	numDims
+)
+
+// dims returns the search space for an environment. Bounds follow the
+// physics: peaks below ~0.55 cannot threaten a 0.75-oversubscribed
+// breaker even cluster-wide; spike widths beyond 8 s stop being spikes;
+// more than 6 coordinated groups adds placement, not new schedule
+// shapes, on an 8-rack cluster.
+func dims(env Env) [numDims]dim {
+	maxGroups := env.Racks
+	if maxGroups > 6 {
+		maxGroups = 6
+	}
+	return [numDims]dim{
+		dimPeak:        {"peak", 0.55, 1.0, 0.005},
+		dimWidthS:      {"width_s", 0.2, 8, 0.1},
+		dimSPM:         {"spikes_per_min", 1, 12, 0.25},
+		dimPhaseJitter: {"phase_jitter", 0, 0.8, 0.02},
+		dimRampMS:      {"ramp_ms", 20, 800, 5},
+		dimGroups:      {"groups", 1, float64(maxGroups), 1},
+		dimOffsetMS:    {"offset_ms", 0, 20_000, 250},
+	}
+}
+
+// vec is one on-grid candidate point.
+type vec [numDims]float64
+
+// key is the candidate's canonical dedup/tie-break identity.
+func (v vec) key() string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// scenario materializes a candidate point in an environment. The spike
+// width is clamped below the virus layer's width<period feasibility
+// bound (at 90% of the period, re-quantized), so every grid point maps
+// to a valid scenario. The seed is the environment's shared seed — one
+// background trace serves every candidate, which is what makes scores
+// comparable and lets Search build the series once.
+func (env Env) scenario(d [numDims]dim, v vec, seed uint64, scheme, name string) Scenario {
+	width := v[dimWidthS]
+	if maxW := 0.9 * 60 / v[dimSPM]; width > maxW {
+		width = d[dimWidthS].quant(maxW - d[dimWidthS].step/2)
+	}
+	peak := v[dimPeak]
+	return Scenario{
+		Version:        ScenarioVersion,
+		Name:           name,
+		Scheme:         scheme,
+		Seed:           seed,
+		Racks:          env.Racks,
+		ServersPerRack: env.ServersPerRack,
+		TickMS:         int(env.Tick / time.Millisecond),
+		DurationS:      env.Duration.Seconds(),
+		BGMean:         env.BGMean,
+
+		PeakFraction:    peak,
+		SustainFraction: math.Round(0.95*peak*1000) / 1000,
+		RampMS:          v[dimRampMS],
+		Jitter:          0.02,
+
+		SpikeWidthMS:    math.Round(width * 1000),
+		SpikesPerMinute: v[dimSPM],
+		RestFraction:    env.RestFraction,
+		PhaseJitter:     v[dimPhaseJitter],
+		AmplitudeScale:  1,
+		PrepS:           env.PrepS,
+		PatienceS:       env.PatienceS,
+
+		Groups:        int(v[dimGroups]),
+		NodesPerGroup: env.NodesPerGroup,
+		PhaseOffsetMS: v[dimOffsetMS],
+	}
+}
+
+// String renders a candidate for progress lines and error messages.
+func (v vec) String() string {
+	return fmt.Sprintf("peak=%.3f width=%.1fs spm=%.2f pj=%.2f ramp=%.0fms groups=%d offset=%.0fms",
+		v[dimPeak], v[dimWidthS], v[dimSPM], v[dimPhaseJitter], v[dimRampMS],
+		int(v[dimGroups]), v[dimOffsetMS])
+}

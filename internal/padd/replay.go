@@ -37,6 +37,16 @@ type ReplayConfig struct {
 	// AttackNodes is the number of compromised servers (0 disables the
 	// virus, which makes the replay trivially calm).
 	AttackNodes int
+	// Background, when non-nil, replaces the generated background trace.
+	// Length must be Racks×ServersPerRack; the series are read-only and
+	// may be shared with other runs. Scenario replays (internal/
+	// attacksearch) use this so the daemon sees the exact corpus trace.
+	Background []*stats.Series
+	// AttackFactory, when non-nil, replaces the canned AttackNodes virus:
+	// it is called once per scheme's offline pass and must return fresh
+	// controllers each call (controllers are single-run state). This is
+	// how coordinated multi-group corpus scenarios enter the replay.
+	AttackFactory func() ([]sim.AttackSpec, error)
 	// BatchSize is the number of ticks per telemetry POST.
 	BatchSize int
 	// Log, when set, receives one progress line per scheme.
@@ -112,7 +122,12 @@ func (r *ReplayReport) OK() bool {
 func Replay(cfg ReplayConfig) (*ReplayReport, error) {
 	cfg = cfg.withDefaults()
 	servers := cfg.Racks * cfg.ServersPerRack
-	bg := stats.NoisyUtilization(servers, cfg.BGMean, cfg.Duration, 10*time.Second, cfg.Seed)
+	bg := cfg.Background
+	if bg == nil {
+		bg = stats.NoisyUtilization(servers, cfg.BGMean, cfg.Duration, 10*time.Second, cfg.Seed)
+	} else if len(bg) != servers {
+		return nil, fmt.Errorf("padd: replay background has %d series for %d servers", len(bg), servers)
+	}
 
 	mgr := NewManager()
 	defer mgr.Shutdown(context.Background())
@@ -184,7 +199,14 @@ func runOffline(cfg ReplayConfig, name string, bg []*stats.Series) (*sim.Result,
 	if schemes.NeedsMicroDEB(name) {
 		simCfg.MicroDEBFactory = schemes.MicroDEBFactory(0.01)
 	}
-	if cfg.AttackNodes > 0 {
+	switch {
+	case cfg.AttackFactory != nil:
+		specs, err := cfg.AttackFactory()
+		if err != nil {
+			return nil, nil, err
+		}
+		simCfg.Attacks = specs
+	case cfg.AttackNodes > 0:
 		atk, err := virus.New(virus.Config{
 			Profile:         virus.CPUIntensive,
 			SpikeWidth:      10 * time.Second,

@@ -161,8 +161,17 @@ type Config struct {
 	// Racks×ServersPerRack, or nil for an idle background). Series are
 	// interpolated at tick resolution.
 	Background []*stats.Series
-	// Attack optionally injects a power virus.
+	// Attack optionally injects a power virus. It is shorthand for a
+	// single-entry Attacks list and may not be combined with Attacks.
 	Attack *AttackSpec
+	// Attacks optionally injects several independently controlled virus
+	// groups — the coordinated multi-actor campaign model (many small
+	// phase-locked actors spread across racks). Each spec owns its own
+	// closed-loop controller and server set; every controller observes
+	// capping on its own group's racks only, and a server may belong to
+	// at most one group. Recording.AttackUtil and TickStats.AttackUtil
+	// report the highest utilization any group commanded that tick.
+	Attacks []AttackSpec
 	// BatteryFactory builds each rack's battery store given the rack
 	// nameplate power. Nil selects battery.NewRackCabinet.
 	BatteryFactory func(rackNameplate units.Watts) battery.Store
@@ -268,18 +277,41 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: background has %d series for %d servers",
 			len(c.Background), c.Racks*c.ServersPerRack)
 	}
-	if c.Attack != nil {
-		if c.Attack.Attack == nil {
+	if c.Attack != nil && len(c.Attacks) > 0 {
+		return fmt.Errorf("sim: set Attack or Attacks, not both")
+	}
+	group := make([]int, c.Racks*c.ServersPerRack)
+	for i := range group {
+		group[i] = -1
+	}
+	for g, spec := range c.attackList() {
+		if spec.Attack == nil {
 			return fmt.Errorf("sim: attack spec without controller")
 		}
-		for _, s := range c.Attack.Servers {
+		for _, s := range spec.Servers {
 			if s < 0 || s >= c.Racks*c.ServersPerRack {
 				return fmt.Errorf("sim: compromised server %d out of range", s)
 			}
+			// Repeats within one group are idempotent; a server taking
+			// orders from two controllers is a configuration error.
+			if group[s] >= 0 && group[s] != g {
+				return fmt.Errorf("sim: server %d compromised by attack groups %d and %d",
+					s, group[s], g)
+			}
+			group[s] = g
 		}
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("sim: workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
+}
+
+// attackList normalizes the two attack fields into one ordered group
+// slice: Attack becomes a single-group list, Attacks is returned as is.
+func (c Config) attackList() []AttackSpec {
+	if c.Attack != nil {
+		return []AttackSpec{*c.Attack}
+	}
+	return c.Attacks
 }

@@ -53,9 +53,17 @@ type Stepper struct {
 	overLast     []bool
 	downFor      []time.Duration
 
-	totalServers     int
-	compromisedFlag  []bool
-	compromisedRacks []int
+	totalServers int
+
+	// Attack groups, struct-of-arrays: attacks[g] is group g's spec,
+	// groupRacks[g] the distinct racks it occupies (the capped-observation
+	// scan), groupU[g] the utilization its controller commanded this tick.
+	// attackOf maps each server to its group index, -1 for clean servers;
+	// nil when the run hosts no virus.
+	attacks    []AttackSpec
+	groupRacks [][]int
+	groupU     []float64
+	attackOf   []int32
 
 	res      *Result
 	rec      *Recording
@@ -119,8 +127,8 @@ type Stepper struct {
 	// is on; it never feeds back into the simulation.
 	tracer         *obs.Tracer
 	traceLevel     core.Level
-	tracePhase     virus.Phase
-	traceHeatHigh  []bool // racks 0..n-1; index n is the cluster PDU
+	tracePhases    []virus.Phase // one per attack group
+	traceHeatHigh  []bool        // racks 0..n-1; index n is the cluster PDU
 	traceMargin    units.Watts
 	traceMarginSet bool
 }
@@ -177,17 +185,28 @@ func NewStepper(cfg Config, scheme Scheme) (*Stepper, error) {
 
 	st.totalServers = cfg.Racks * cfg.ServersPerRack
 
-	// Compromised-server index: a per-server flag slice for the demand
-	// loop and the distinct compromised racks for the attacker's
+	// Compromised-server index: a per-server group-id slice for the
+	// demand loop and each group's distinct racks for its controller's
 	// capped-observation scan — no map lookups on the hot path.
-	if cfg.Attack != nil {
-		st.compromisedFlag = make([]bool, st.totalServers)
+	if specs := cfg.attackList(); len(specs) > 0 {
+		st.attacks = specs
+		st.groupRacks = make([][]int, len(specs))
+		st.groupU = make([]float64, len(specs))
+		st.attackOf = make([]int32, st.totalServers)
+		for s := range st.attackOf {
+			st.attackOf[s] = -1
+		}
 		rackSeen := make([]bool, cfg.Racks)
-		for _, s := range cfg.Attack.Servers {
-			st.compromisedFlag[s] = true
-			if r := s / cfg.ServersPerRack; !rackSeen[r] {
-				rackSeen[r] = true
-				st.compromisedRacks = append(st.compromisedRacks, r)
+		for g, spec := range specs {
+			for i := range rackSeen {
+				rackSeen[i] = false
+			}
+			for _, s := range spec.Servers {
+				st.attackOf[s] = int32(g)
+				if r := s / cfg.ServersPerRack; !rackSeen[r] {
+					rackSeen[r] = true
+					st.groupRacks[g] = append(st.groupRacks[g], r)
+				}
 			}
 		}
 	}
@@ -255,6 +274,7 @@ func NewStepper(cfg Config, scheme Scheme) (*Stepper, error) {
 			ServersPerRack: cfg.ServersPerRack,
 		})
 		st.traceHeatHigh = make([]bool, cfg.Racks+1)
+		st.tracePhases = make([]virus.Phase, len(st.attacks))
 	}
 	return st, nil
 }
@@ -300,24 +320,31 @@ func (st *Stepper) Scheme() Scheme { return st.scheme }
 func (st *Stepper) ComputeDemand() []float64 {
 	cfg := st.cfg
 
-	// 1. Attacker acts on what it observed last tick.
+	// 1. Each attacker group acts on what it observed last tick: a
+	// group's controller senses capping only on the racks its own
+	// servers occupy — coordinated groups share a plan (their configs),
+	// never observations.
 	attackU := 0.0
-	if cfg.Attack != nil {
+	for g := range st.attacks {
 		capped := false
-		for _, r := range st.compromisedRacks {
+		for _, r := range st.groupRacks[g] {
 			if st.lastFreq[r] < 0.999 {
 				capped = true
 				break
 			}
 		}
-		attackU = cfg.Attack.Attack.Step(cfg.Tick, virus.Observation{Capped: capped})
+		u := st.attacks[g].Attack.Step(cfg.Tick, virus.Observation{Capped: capped})
+		st.groupU[g] = u
+		if u > attackU {
+			attackU = u
+		}
 		if st.tracer != nil {
-			if ph := cfg.Attack.Attack.Phase(); ph != st.tracePhase {
+			if ph := st.attacks[g].Attack.Phase(); ph != st.tracePhases[g] {
 				st.tracer.Emit(obs.Event{
 					Tick: int64(st.ticks), Rack: -1, Kind: obs.KindAttackPhase,
-					A: float64(st.tracePhase), B: float64(ph),
+					A: float64(st.tracePhases[g]), B: float64(ph),
 				})
-				st.tracePhase = ph
+				st.tracePhases[g] = ph
 			}
 		}
 	}
@@ -328,16 +355,20 @@ func (st *Stepper) ComputeDemand() []float64 {
 		st.bg.tick(st.now)
 		for s := 0; s < st.totalServers; s++ {
 			u := st.bg.at(s)
-			if st.compromisedFlag != nil && st.compromisedFlag[s] && attackU > u {
-				u = attackU
+			if st.attackOf != nil {
+				if g := st.attackOf[s]; g >= 0 && st.groupU[g] > u {
+					u = st.groupU[g]
+				}
 			}
 			st.demandU[s] = u
 		}
 	} else {
 		for s := 0; s < st.totalServers; s++ {
 			u := 0.0
-			if st.compromisedFlag != nil && st.compromisedFlag[s] && attackU > u {
-				u = attackU
+			if st.attackOf != nil {
+				if g := st.attackOf[s]; g >= 0 && st.groupU[g] > u {
+					u = st.groupU[g]
+				}
 			}
 			st.demandU[s] = u
 		}

@@ -1,0 +1,85 @@
+package virus
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// CampaignConfig describes a coordinated multi-group power-attack
+// campaign: Soltan et al.'s high-wattage botnet model, where many small
+// actors phase-lock their spikes instead of one big actor spiking alone.
+// Every group runs the same two-phase attack Config, but group g idles
+// g×PhaseOffset longer before starting — so the groups' Phase-II spike
+// trains fire as a staggered barrage rather than one synchronized pulse,
+// which is exactly the schedule shape a per-rack periodicity detector
+// has the hardest time locking onto.
+//
+// A campaign is a pure parameterization: Configs derives one attack
+// Config per group (with an independent jitter stream per group, keyed
+// by the base seed and the group index), and Build instantiates the
+// per-group controllers. The caller places each group on its own servers
+// (sim.Config.Attacks) — typically one group per rack.
+type CampaignConfig struct {
+	// Base is the per-group attack configuration.
+	Base Config
+	// Groups is the number of phase-locked actor groups.
+	Groups int
+	// PhaseOffset staggers consecutive groups' start times: group g
+	// begins its preparation (and therefore its Phase-I drain and its
+	// Phase-II spikes) g×PhaseOffset after group 0.
+	PhaseOffset time.Duration
+}
+
+// Validate reports a malformed campaign.
+func (c CampaignConfig) Validate() error {
+	if c.Groups < 1 {
+		return fmt.Errorf("virus: campaign needs at least one group, got %d", c.Groups)
+	}
+	if c.Groups > 4096 {
+		return fmt.Errorf("virus: campaign of %d groups out of [1,4096]", c.Groups)
+	}
+	if c.PhaseOffset < 0 {
+		return fmt.Errorf("virus: negative phase offset %v", c.PhaseOffset)
+	}
+	return c.Base.Validate()
+}
+
+// Configs derives the per-group attack configurations: defaults applied,
+// preparation staggered by the phase offset, and each group's spike
+// jitter seeded independently via stats.DeriveSeed — so the whole
+// campaign is reproducible from (Base, Groups, PhaseOffset) alone and
+// two groups never share a random stream.
+func (c CampaignConfig) Configs() ([]Config, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	base := c.Base.withDefaults()
+	out := make([]Config, c.Groups)
+	for g := range out {
+		cfg := base
+		cfg.PrepDuration += time.Duration(g) * c.PhaseOffset
+		cfg.Seed = stats.DeriveSeed(c.Base.Seed, fmt.Sprintf("virus/campaign/%d", g))
+		out[g] = cfg
+	}
+	return out, nil
+}
+
+// Build instantiates one attack controller per group. Each controller is
+// single-run state (see Attack); build a fresh campaign per simulation.
+func (c CampaignConfig) Build() ([]*Attack, error) {
+	cfgs, err := c.Configs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Attack, len(cfgs))
+	for g, cfg := range cfgs {
+		a, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("virus: campaign group %d: %w", g, err)
+		}
+		out[g] = a
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package virus
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCampaignConfigs(t *testing.T) {
+	c := CampaignConfig{
+		Base: Config{
+			Profile:      CPUIntensive,
+			PrepDuration: 4 * time.Second,
+			Seed:         9,
+		},
+		Groups:      3,
+		PhaseOffset: 5 * time.Second,
+	}
+	cfgs, err := c.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 3 {
+		t.Fatalf("got %d configs, want 3", len(cfgs))
+	}
+	for g, cfg := range cfgs {
+		want := 4*time.Second + time.Duration(g)*5*time.Second
+		if cfg.PrepDuration != want {
+			t.Errorf("group %d prep %v, want %v", g, cfg.PrepDuration, want)
+		}
+		// Defaults must be applied before staggering so a zero base prep
+		// staggers from the documented 30 s, not from zero.
+		if cfg.SpikesPerMinute != 4 {
+			t.Errorf("group %d spikes/min %v, want default 4", g, cfg.SpikesPerMinute)
+		}
+		for h := 0; h < g; h++ {
+			if cfg.Seed == cfgs[h].Seed {
+				t.Errorf("groups %d and %d share seed %d", g, h, cfg.Seed)
+			}
+		}
+	}
+	// Reproducible: the same campaign derives the same configs.
+	again, err := c.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range cfgs {
+		if cfgs[g] != again[g] {
+			t.Errorf("group %d config not reproducible", g)
+		}
+	}
+}
+
+func TestCampaignDefaultPrepStagger(t *testing.T) {
+	c := CampaignConfig{
+		Base:        Config{Profile: CPUIntensive},
+		Groups:      2,
+		PhaseOffset: time.Second,
+	}
+	cfgs, err := c.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgs[0].PrepDuration != 30*time.Second || cfgs[1].PrepDuration != 31*time.Second {
+		t.Fatalf("prep durations %v, %v; want 30s, 31s", cfgs[0].PrepDuration, cfgs[1].PrepDuration)
+	}
+}
+
+func TestCampaignValidate(t *testing.T) {
+	base := Config{Profile: CPUIntensive}
+	cases := []struct {
+		name string
+		cfg  CampaignConfig
+	}{
+		{"zero groups", CampaignConfig{Base: base, Groups: 0}},
+		{"negative offset", CampaignConfig{Base: base, Groups: 2, PhaseOffset: -time.Second}},
+		{"huge groups", CampaignConfig{Base: base, Groups: 5000}},
+		{"bad base", CampaignConfig{Base: Config{Profile: Profile{Name: "x", PeakFraction: -1}}, Groups: 1}},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: not rejected", tc.name)
+		}
+		if _, err := tc.cfg.Configs(); err == nil {
+			t.Errorf("%s: Configs did not reject", tc.name)
+		}
+		if _, err := tc.cfg.Build(); err == nil {
+			t.Errorf("%s: Build did not reject", tc.name)
+		}
+	}
+	ok := CampaignConfig{Base: base, Groups: 4, PhaseOffset: 2 * time.Second}
+	ctrls, err := ok.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctrls) != 4 {
+		t.Fatalf("built %d controllers, want 4", len(ctrls))
+	}
+}
