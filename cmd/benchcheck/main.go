@@ -14,12 +14,20 @@
 // to machine noise, so unlike the ns/op gate it has no tolerance. The
 // bench run must include -benchmem for the allocs column to exist.
 //
+// -speedup asserts a measured ratio between two benchmarks from the same
+// run: "Slow/Fast:5" fails unless Slow's ns/op is at least 5× Fast's.
+// Both numbers come from the same machine and the same bench invocation,
+// so unlike the baseline gate this is noise-immune — it guards
+// structural speedups (the quiescent skip path must beat per-tick
+// stepping on a quiet horizon) rather than absolute timings.
+//
 // Usage:
 //
 //	go test ./internal/sim -run '^$' -bench 'BenchmarkSimRunPAD|BenchmarkStepperTick' \
 //	  -benchmem -benchtime=10x | \
 //	  benchcheck -baseline BENCH_engine.json -gate BenchmarkSimRunPAD \
-//	    -zero-allocs BenchmarkStepperTick
+//	    -zero-allocs BenchmarkStepperTick \
+//	    -speedup BenchmarkSimRunQuiet/BenchmarkSimRunQuietSkip:5
 package main
 
 import (
@@ -90,7 +98,35 @@ func parseBench(r io.Reader) (map[string]measurement, error) {
 	return out, sc.Err()
 }
 
-func run(benchOut io.Reader, baselinePath string, gates, zeroAllocs []string, maxRatio float64, report io.Writer) error {
+// speedupSpec is one parsed -speedup assertion: the slow benchmark's
+// measured ns/op must be at least min × the fast one's.
+type speedupSpec struct {
+	slow, fast string
+	min        float64
+}
+
+// parseSpeedups parses the comma-separated "Slow/Fast:min" specs.
+func parseSpeedups(s string) ([]speedupSpec, error) {
+	var out []speedupSpec
+	for _, f := range splitList(s) {
+		names, minStr, ok := strings.Cut(f, ":")
+		if !ok {
+			return nil, fmt.Errorf("benchcheck: -speedup %q: want Slow/Fast:min", f)
+		}
+		slow, fast, ok := strings.Cut(names, "/")
+		if !ok || slow == "" || fast == "" {
+			return nil, fmt.Errorf("benchcheck: -speedup %q: want Slow/Fast:min", f)
+		}
+		min, err := strconv.ParseFloat(minStr, 64)
+		if err != nil || min <= 0 {
+			return nil, fmt.Errorf("benchcheck: -speedup %q: bad minimum ratio %q", f, minStr)
+		}
+		out = append(out, speedupSpec{slow: slow, fast: fast, min: min})
+	}
+	return out, nil
+}
+
+func run(benchOut io.Reader, baselinePath string, gates, zeroAllocs []string, speedups []speedupSpec, maxRatio float64, report io.Writer) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -135,6 +171,27 @@ func run(benchOut io.Reader, baselinePath string, gates, zeroAllocs []string, ma
 				fmt.Sprintf("%s allocates (%g allocs/op, want 0)", name, got.allocsOp))
 		}
 	}
+	for _, sp := range speedups {
+		slow, ok := measured[sp.slow]
+		if !ok {
+			return fmt.Errorf("benchcheck: %s missing from bench output", sp.slow)
+		}
+		fast, ok := measured[sp.fast]
+		if !ok {
+			return fmt.Errorf("benchcheck: %s missing from bench output", sp.fast)
+		}
+		if fast.nsOp <= 0 {
+			return fmt.Errorf("benchcheck: %s measured 0 ns/op", sp.fast)
+		}
+		ratio := slow.nsOp / fast.nsOp
+		fmt.Fprintf(report, "benchcheck: %s vs %s: %.1fx speedup (floor %.1fx)\n",
+			sp.slow, sp.fast, ratio, sp.min)
+		if ratio < sp.min {
+			failures = append(failures,
+				fmt.Sprintf("%s is only %.2fx faster than %s (floor %.2fx)",
+					sp.fast, ratio, sp.slow, sp.min))
+		}
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("benchcheck: %s", strings.Join(failures, "; "))
 	}
@@ -157,6 +214,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_engine.json", "baseline JSON file (after.results is the reference)")
 	gate := flag.String("gate", "BenchmarkSimRunPAD", "comma-separated benchmarks to gate")
 	zeroAllocs := flag.String("zero-allocs", "", "comma-separated benchmarks that must report exactly 0 allocs/op (needs -benchmem output)")
+	speedup := flag.String("speedup", "", "comma-separated Slow/Fast:min assertions on measured ns/op ratios from this run")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when measured ns/op exceeds baseline by this factor")
 	input := flag.String("input", "-", "bench output file, - for stdin")
 	flag.Parse()
@@ -171,7 +229,12 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, *baseline, splitList(*gate), splitList(*zeroAllocs), *maxRatio, os.Stdout); err != nil {
+	speedups, err := parseSpeedups(*speedup)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := run(in, *baseline, splitList(*gate), splitList(*zeroAllocs), speedups, *maxRatio, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

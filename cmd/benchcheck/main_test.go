@@ -57,7 +57,7 @@ func TestRunWithinLimit(t *testing.T) {
 	base := writeBaseline(t, 1500000) // measured 1575895: ~1.05x, passes at 2x
 	var report strings.Builder
 	err := run(strings.NewReader(benchOutput), base,
-		[]string{"BenchmarkSimRunPAD"}, nil, 2.0, &report)
+		[]string{"BenchmarkSimRunPAD"}, nil, nil, 2.0, &report)
 	if err != nil {
 		t.Fatalf("within-limit run failed: %v\n%s", err, report.String())
 	}
@@ -70,7 +70,7 @@ func TestRunRegression(t *testing.T) {
 	base := writeBaseline(t, 500000) // measured 1575895: ~3.15x, fails at 2x
 	var report strings.Builder
 	err := run(strings.NewReader(benchOutput), base,
-		[]string{"BenchmarkSimRunPAD"}, nil, 2.0, &report)
+		[]string{"BenchmarkSimRunPAD"}, nil, nil, 2.0, &report)
 	if err == nil {
 		t.Fatalf("3x regression passed the 2x gate\n%s", report.String())
 	}
@@ -83,11 +83,11 @@ func TestRunMissingBenchmark(t *testing.T) {
 	base := writeBaseline(t, 1500000)
 	var report strings.Builder
 	if err := run(strings.NewReader(benchOutput), base,
-		[]string{"BenchmarkNoSuch"}, nil, 2.0, &report); err == nil {
+		[]string{"BenchmarkNoSuch"}, nil, nil, 2.0, &report); err == nil {
 		t.Fatal("unknown gate benchmark did not error")
 	}
 	if err := run(strings.NewReader("PASS\n"), base,
-		[]string{"BenchmarkSimRunPAD"}, nil, 2.0, &report); err == nil {
+		[]string{"BenchmarkSimRunPAD"}, nil, nil, 2.0, &report); err == nil {
 		t.Fatal("empty bench output did not error")
 	}
 }
@@ -97,7 +97,7 @@ func TestRunZeroAllocsGate(t *testing.T) {
 	var report strings.Builder
 	// 0 allocs/op passes.
 	if err := run(strings.NewReader(benchOutput), base,
-		nil, []string{"BenchmarkStepperTick"}, 2.0, &report); err != nil {
+		nil, []string{"BenchmarkStepperTick"}, nil, 2.0, &report); err != nil {
 		t.Fatalf("zero-alloc benchmark failed the gate: %v", err)
 	}
 	if !strings.Contains(report.String(), "0 allocs/op (limit 0)") {
@@ -105,15 +105,58 @@ func TestRunZeroAllocsGate(t *testing.T) {
 	}
 	// A benchmark that allocates fails, with no ratio tolerance.
 	err := run(strings.NewReader(benchOutput), base,
-		nil, []string{"BenchmarkSimRunPAD"}, 2.0, &report)
+		nil, []string{"BenchmarkSimRunPAD"}, nil, 2.0, &report)
 	if err == nil || !strings.Contains(err.Error(), "allocates") {
 		t.Fatalf("allocating benchmark passed the zero-allocs gate: %v", err)
 	}
 	// A line without -benchmem columns is a hard error, not a pass.
 	if err := run(strings.NewReader(benchOutput), base,
-		nil, []string{"BenchmarkNoMem"}, 2.0, &report); err == nil ||
+		nil, []string{"BenchmarkNoMem"}, nil, 2.0, &report); err == nil ||
 		!strings.Contains(err.Error(), "-benchmem") {
 		t.Fatalf("missing allocs column not diagnosed: %v", err)
+	}
+}
+
+func TestRunSpeedupGate(t *testing.T) {
+	base := writeBaseline(t, 1500000)
+	var report strings.Builder
+	// Conv (1302350) vs StepperTick (3819): ~341x, passes a 5x floor.
+	ok := []speedupSpec{{slow: "BenchmarkSimRunConv", fast: "BenchmarkStepperTick", min: 5}}
+	if err := run(strings.NewReader(benchOutput), base, nil, nil, ok, 2.0, &report); err != nil {
+		t.Fatalf("341x speedup failed a 5x floor: %v", err)
+	}
+	if !strings.Contains(report.String(), "speedup") {
+		t.Fatalf("report missing speedup line:\n%s", report.String())
+	}
+	// PAD vs Conv is ~1.2x: fails a 5x floor.
+	bad := []speedupSpec{{slow: "BenchmarkSimRunPAD", fast: "BenchmarkSimRunConv", min: 5}}
+	err := run(strings.NewReader(benchOutput), base, nil, nil, bad, 2.0, &report)
+	if err == nil || !strings.Contains(err.Error(), "faster") {
+		t.Fatalf("1.2x speedup passed a 5x floor: %v", err)
+	}
+	// A missing benchmark is a hard error, not a pass.
+	missing := []speedupSpec{{slow: "BenchmarkNoSuch", fast: "BenchmarkSimRunConv", min: 5}}
+	if err := run(strings.NewReader(benchOutput), base, nil, nil, missing, 2.0, &report); err == nil {
+		t.Fatal("unknown speedup benchmark did not error")
+	}
+}
+
+func TestParseSpeedups(t *testing.T) {
+	got, err := parseSpeedups("BenchmarkA/BenchmarkB:5, BenchmarkC/BenchmarkD:1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].slow != "BenchmarkA" || got[0].fast != "BenchmarkB" ||
+		got[0].min != 5 || got[1].min != 1.5 {
+		t.Fatalf("parseSpeedups = %+v", got)
+	}
+	if out, err := parseSpeedups(""); err != nil || out != nil {
+		t.Fatalf("empty spec = %v, %v", out, err)
+	}
+	for _, bad := range []string{"BenchmarkA:5", "BenchmarkA/BenchmarkB", "A/B:0", "A/B:x", "/B:5"} {
+		if _, err := parseSpeedups(bad); err == nil {
+			t.Fatalf("parseSpeedups(%q) did not error", bad)
+		}
 	}
 }
 

@@ -11,7 +11,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/units"
 )
@@ -80,6 +79,11 @@ func (c *VDEBController) AllocateInto(out []units.Watts, socs []float64, pShave 
 		return out
 	}
 	// Sort rack indices by SOC, descending (Algorithm 1 lines 9-10).
+	// Stable insertion sort: a stable order is unique, so this matches
+	// sort.SliceStable bit for bit while allocating nothing — the
+	// allocation-free property lets the quiescent-skip detector rerun the
+	// allocation as a pure check, and rack counts are small enough that
+	// O(n²) beats the reflection-based library sort anyway.
 	if cap(c.order) < n {
 		c.order = make([]int, n)
 	}
@@ -87,9 +91,15 @@ func (c *VDEBController) AllocateInto(out []units.Watts, socs []float64, pShave 
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return socs[order[a]] > socs[order[b]]
-	})
+	for i := 1; i < n; i++ {
+		x := order[i]
+		j := i - 1
+		for j >= 0 && socs[order[j]] < socs[x] {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = x
+	}
 	socTotal := 0.0
 	for _, s := range socs {
 		socTotal += s

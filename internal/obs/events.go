@@ -12,6 +12,17 @@
 //     function of the run's inputs, bit-identical across worker counts
 //     and across machines. All rendering (JSON, Chrome trace) happens at
 //     flush time, outside the tick loop.
+//
+// A corollary the engine's quiescent fast path (sim.Config.SkipQuiescent)
+// relies on: quiescent ticks emit no events. Every emission above is
+// edge-triggered — a level transition, a trip, a rising overload or heat
+// edge, a new minimum, a refresh decision, a shed-set change, a phase
+// change — and a quiescent tick by definition has no edges, so a span of
+// elided ticks contributes nothing to the stream except what the
+// scheme's own clocked decisions (the vDEB 1 s refresh) would have
+// emitted, which the scheme synthesizes when the span is skipped. Traced
+// runs therefore produce identical event streams with skipping on or
+// off; internal/sim's TestTraceSkipIdentical pins that.
 package obs
 
 import "time"

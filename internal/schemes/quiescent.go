@@ -1,0 +1,280 @@
+package schemes
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// This file implements sim.QuiescentPlanner for all six schemes — the
+// planner-contract extension behind the engine's event-driven fast path.
+// The certification style differs by how much state a scheme carries:
+//
+//   - Conv, PS and UDEB plan purely from the frozen view (their only
+//     state, the charge-policy hysteresis, is idempotent at a fixed SOC
+//     and planCharge short-circuits before touching it when there is no
+//     headroom), so they are unconditionally quiescent.
+//   - PSPC and PAD additionally require their capping governor settled:
+//     the EWMA at its bitwise fixed point and the actuation delay ring
+//     full of frames identical to the recomputed desired vector — in that
+//     state a submit pops what it pushes and the queue is rotation-
+//     invariant, so skipped submits are output-equivalent forever.
+//   - VDEB and PAD recompute the whole Algorithm-1 refresh against the
+//     frozen view and compare bit for bit (recompute-and-compare through
+//     the shared computeInto body), then let SkipPlan replay the 1 s
+//     refresh clock — including its KindVDEBAlloc trace records — across
+//     the elided span.
+//
+// PAD further demands its security policy hold its level below Level 3
+// and shedding stay disengaged, since both would mutate per-tick state
+// the span kernel does not model.
+
+// Compile-time checks: every scheme supports the fast path.
+var (
+	_ sim.QuiescentPlanner = (*Conv)(nil)
+	_ sim.QuiescentPlanner = (*PS)(nil)
+	_ sim.QuiescentPlanner = (*PSPC)(nil)
+	_ sim.QuiescentPlanner = (*VDEB)(nil)
+	_ sim.QuiescentPlanner = (*UDEB)(nil)
+	_ sim.QuiescentPlanner = (*PAD)(nil)
+)
+
+// settled reports whether observe(view) would leave every smoothed
+// estimate bitwise unchanged: s + α·(demand − s) == s for each rack.
+// With the per-tick α cached, a settled observe is a pure no-op.
+func (g *capGovernor) settled(view sim.ClusterView) bool {
+	if g.smoothed == nil || len(g.smoothed) != len(view.Racks) {
+		return false
+	}
+	alpha := g.alphaFor(view.Tick)
+	for i, v := range view.Racks {
+		s := g.smoothed[i]
+		if s+alpha*(float64(v.Demand)-s) != s {
+			return false
+		}
+	}
+	return true
+}
+
+// settledTotal sums the smoothed demands exactly as observe + the
+// smoothedTotal helper would: per-element conversion to watts, then the
+// running sum, so the bits match the per-tick computation.
+func (g *capGovernor) settledTotal() units.Watts {
+	var t units.Watts
+	for _, s := range g.smoothed {
+		t += units.Watts(s)
+	}
+	return t
+}
+
+// ringSettled reports whether the actuation delay line is in steady state
+// carrying exactly the given desired frequencies: the line holds depth
+// frames (so a submit pops a head the same tick it pushes the tail) and
+// every queued frame equals desired bitwise. In that state submit
+// returns desired's values and leaves the queue content unchanged up to
+// head rotation — and a ring whose slots are all identical is rotation-
+// invariant, so eliding n submits cannot change any later output.
+func (g *capGovernor) ringSettled(desired []float64, tick time.Duration) bool {
+	depth := 0
+	if tick > 0 {
+		depth = int(g.delay() / tick)
+	}
+	if g.ringLen != depth || len(g.ring) < depth+1 {
+		return false
+	}
+	for i := 0; i < g.ringLen; i++ {
+		frame := g.ring[(g.ringHead+i)%len(g.ring)]
+		if frame == nil || len(frame) != len(desired) {
+			return false
+		}
+		for j, d := range desired {
+			if frame[j] != d {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// quiescent reports whether an Algorithm-1 refresh against this view
+// would reproduce the planner's live caps and soft limits bit for bit —
+// in which case the refreshes inside a skipped span are pure clock-and-
+// trace events that skipPlan can synthesize. The trial refresh runs the
+// same computeInto body as the real one and writes only check scratch.
+func (p *vdebPlanner) quiescent(view sim.ClusterView) bool {
+	n := len(view.Racks)
+	if !p.started || len(p.allocCap) != n {
+		return false
+	}
+	pShave, allocSum := p.computeInto(view, &p.checkCap, &p.checkBudgets)
+	for i := 0; i < n; i++ {
+		if p.checkCap[i] != p.allocCap[i] || p.checkBudgets[i] != p.budgets[i] {
+			return false
+		}
+	}
+	p.qShave, p.qAlloc = pShave, allocSum
+	return true
+}
+
+// skipPlan replays the refresh clock across n elided ticks starting at
+// view.Time: every tick whose offset is refreshEvery past the last
+// refresh stamps the clock and emits the KindVDEBAlloc record the live
+// refresh would have, with the values quiescent proved frozen.
+func (p *vdebPlanner) skipPlan(view sim.ClusterView, n int) {
+	for k := 0; k < n; k++ {
+		t := view.Time + time.Duration(k)*view.Tick
+		if t-p.lastRefresh >= p.refreshEvery {
+			p.lastRefresh = t
+			if view.Trace != nil && view.Tick > 0 {
+				view.Trace.Emit(obs.Event{
+					Tick: int64(t / view.Tick),
+					Rack: -1,
+					Kind: obs.KindVDEBAlloc,
+					A:    float64(p.qShave),
+					B:    float64(p.qAlloc),
+				})
+			}
+		}
+	}
+}
+
+// Quiescent implements sim.QuiescentPlanner. Conv plans purely from the
+// view; its charge-policy hysteresis is idempotent at a frozen SOC.
+func (s *Conv) Quiescent(sim.ClusterView) bool { return true }
+
+// NextEvent implements sim.QuiescentPlanner: Conv has no clocks.
+func (s *Conv) NextEvent(sim.ClusterView) int { return math.MaxInt }
+
+// SkipPlan implements sim.QuiescentPlanner: nothing to advance.
+func (s *Conv) SkipPlan(sim.ClusterView, int) {}
+
+// Quiescent implements sim.QuiescentPlanner. PS plans purely from the
+// view; see Conv.
+func (s *PS) Quiescent(sim.ClusterView) bool { return true }
+
+// NextEvent implements sim.QuiescentPlanner: PS has no clocks.
+func (s *PS) NextEvent(sim.ClusterView) int { return math.MaxInt }
+
+// SkipPlan implements sim.QuiescentPlanner: nothing to advance.
+func (s *PS) SkipPlan(sim.ClusterView, int) {}
+
+// Quiescent implements sim.QuiescentPlanner. UDEB plans purely from the
+// view (the μDEB banks themselves are engine hardware the engine's own
+// quiescence predicate covers); see Conv.
+func (s *UDEB) Quiescent(sim.ClusterView) bool { return true }
+
+// NextEvent implements sim.QuiescentPlanner: UDEB has no clocks.
+func (s *UDEB) NextEvent(sim.ClusterView) int { return math.MaxInt }
+
+// SkipPlan implements sim.QuiescentPlanner: nothing to advance.
+func (s *UDEB) SkipPlan(sim.ClusterView, int) {}
+
+// Quiescent implements sim.QuiescentPlanner: the monitor EWMA must be at
+// its fixed point, the recomputed cap requests must equal the vector the
+// last plan produced, and the actuation ring must be full of that same
+// vector.
+func (s *PSPC) Quiescent(view sim.ClusterView) bool {
+	n := len(view.Racks)
+	if len(s.desired) < n || !s.gov.settled(view) {
+		return false
+	}
+	for i, v := range view.Racks {
+		d := 0.0
+		if units.Watts(s.gov.smoothed[i])-v.Budget > v.BatteryMax {
+			d = s.opts.CapFreq
+		}
+		if d != s.desired[i] {
+			return false
+		}
+	}
+	return s.gov.ringSettled(s.desired[:n], view.Tick)
+}
+
+// NextEvent implements sim.QuiescentPlanner: a settled governor has no
+// pending transitions, so PSPC imposes no horizon of its own.
+func (s *PSPC) NextEvent(sim.ClusterView) int { return math.MaxInt }
+
+// SkipPlan implements sim.QuiescentPlanner: a settled governor needs no
+// clock advance (the EWMA weight depends on the tick, not on wall time).
+func (s *PSPC) SkipPlan(sim.ClusterView, int) {}
+
+// Quiescent implements sim.QuiescentPlanner via the shared planner's
+// recompute-and-compare check.
+func (s *VDEB) Quiescent(view sim.ClusterView) bool {
+	return s.planner.quiescent(view)
+}
+
+// NextEvent implements sim.QuiescentPlanner. The refresh clock is not a
+// horizon: a refresh that reproduces the current state bitwise (which
+// Quiescent just proved) may fire inside a span, replayed by SkipPlan.
+func (s *VDEB) NextEvent(sim.ClusterView) int { return math.MaxInt }
+
+// SkipPlan implements sim.QuiescentPlanner.
+func (s *VDEB) SkipPlan(view sim.ClusterView, n int) {
+	s.planner.skipPlan(view, n)
+}
+
+// Quiescent implements sim.QuiescentPlanner: the full-stack check — the
+// monitor EWMA settled, the security policy holding below Level 3, the
+// vDEB refresh reproducing itself, shedding disengaged, the desired cap
+// vector recomputing to what the actuation ring carries.
+func (s *PAD) Quiescent(view sim.ClusterView) bool {
+	n := len(view.Racks)
+	if s.policy == nil || len(s.desired) < n || !s.gov.settled(view) {
+		return false
+	}
+	smTotal := s.gov.settledTotal()
+	inputs := s.policyInputs(view, smTotal)
+	if !s.policy.Holds(inputs) {
+		return false
+	}
+	if s.policy.Level() >= core.Level3 {
+		// Level 3 sheds every tick; the span kernel does not model that.
+		return false
+	}
+	if !s.planner.quiescent(view) {
+		return false
+	}
+	// Shedding must stay disengaged: no visible peak the pool cannot
+	// cover (same expressions, same comparison as PlanInto).
+	var poolCover units.Watts
+	for _, v := range view.Racks {
+		poolCover += units.Min(v.BatteryMax, s.opts.PIdeal)
+	}
+	uncovered := smTotal - view.PDUBudget - poolCover
+	if inputs.VisiblePeak && uncovered > 0 {
+		return false
+	}
+	// Desired caps recompute to the frames the ring carries. Level < 3
+	// was established above, so the cap floor is the normal one.
+	floor := s.opts.CapFreq
+	for i, v := range view.Racks {
+		budget := s.planner.budgets[i]
+		if budget == 0 {
+			budget = v.Budget
+		}
+		covered := budget + units.Min(v.BatteryMax, s.opts.PIdeal)
+		d := 0.0
+		if sm := units.Watts(s.gov.smoothed[i]); sm > covered {
+			d = capFreqFor(s.opts.Server, s.opts.ServersPerRack, sm, covered, floor)
+		}
+		if d != s.desired[i] {
+			return false
+		}
+	}
+	return s.gov.ringSettled(s.desired[:n], view.Tick)
+}
+
+// NextEvent implements sim.QuiescentPlanner; see VDEB.NextEvent — the
+// refresh clock replays inside the span, and a holding policy has no
+// pending transition.
+func (s *PAD) NextEvent(sim.ClusterView) int { return math.MaxInt }
+
+// SkipPlan implements sim.QuiescentPlanner.
+func (s *PAD) SkipPlan(view sim.ClusterView, n int) {
+	s.planner.skipPlan(view, n)
+}

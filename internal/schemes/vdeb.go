@@ -30,6 +30,15 @@ type vdebPlanner struct {
 	socs     []float64
 	alloc    []units.Watts
 	expected []units.Watts
+
+	// Quiescence scratch: the recompute-and-compare check writes a trial
+	// refresh here (never into the live allocCap/budgets), and the values
+	// a settled refresh would trace are frozen for skipPlan to synthesize
+	// the span's KindVDEBAlloc records from.
+	checkCap     []units.Watts
+	checkBudgets []units.Watts
+	qShave       units.Watts
+	qAlloc       units.Watts
 }
 
 func newVDEBPlanner(opts Options) *vdebPlanner {
@@ -47,41 +56,7 @@ func newVDEBPlanner(opts Options) *vdebPlanner {
 
 // refresh recomputes discharge caps and soft limits from the current view.
 func (p *vdebPlanner) refresh(view sim.ClusterView) {
-	n := len(view.Racks)
-	if len(p.allocCap) != n {
-		p.allocCap = make([]units.Watts, n)
-		p.budgets = make([]units.Watts, n)
-		p.socs = make([]float64, n)
-		p.alloc = make([]units.Watts, n)
-		p.expected = make([]units.Watts, n)
-	}
-	socs := p.socs
-	for i, v := range view.Racks {
-		socs[i] = v.BatterySOC
-	}
-	pShave := view.TotalDemand - view.PDUBudget
-	if pShave < 0 {
-		pShave = 0
-	}
-	alloc := p.ctrl.AllocateInto(p.alloc, socs, pShave)
-	expected := p.expected
-	var expectedSum, allocSum units.Watts
-	for i, v := range view.Racks {
-		cap_ := units.Min(alloc[i], v.BatteryMax)
-		cap_ = units.Min(cap_, v.Demand)
-		p.allocCap[i] = cap_
-		allocSum += cap_
-		expected[i] = v.Demand - cap_
-		// When capping or shedding already holds the rack's actual draw
-		// below its raw demand (the iPDU outlet meter reports LastDraw),
-		// budget for the real draw — otherwise every soft limit would be
-		// sized for demand nobody is allowed to realize, starving the
-		// slack pool.
-		if v.LastDraw > 0 && v.LastDraw < expected[i] {
-			expected[i] = v.LastDraw
-		}
-		expectedSum += expected[i]
-	}
+	pShave, allocSum := p.computeInto(view, &p.allocCap, &p.budgets)
 	// Each Algorithm-1 refresh is a planning decision worth a trace
 	// record: the pool-wide shave demand against the discharge capacity
 	// the pool could actually commit (runs at the 1 s refresh cadence,
@@ -94,6 +69,57 @@ func (p *vdebPlanner) refresh(view sim.ClusterView) {
 			A:    float64(pShave),
 			B:    float64(allocSum),
 		})
+	}
+}
+
+// computeInto is one Algorithm-1 refresh computation against view,
+// writing the per-rack discharge caps into *capOut and soft limits into
+// *budgetOut (sized to the rack count as needed). refresh applies it to
+// the live planner arrays; the quiescence check applies the very same
+// code to trial arrays and compares — sharing the body is what makes the
+// recompute-and-compare certification impossible to desynchronize. It
+// returns the pool shave demand and committed discharge capacity the
+// refresh trace record reports.
+func (p *vdebPlanner) computeInto(view sim.ClusterView, capOut, budgetOut *[]units.Watts) (pShave, allocSum units.Watts) {
+	n := len(view.Racks)
+	if len(p.socs) != n {
+		p.socs = make([]float64, n)
+		p.alloc = make([]units.Watts, n)
+		p.expected = make([]units.Watts, n)
+	}
+	if len(*capOut) != n {
+		*capOut = make([]units.Watts, n)
+	}
+	if len(*budgetOut) != n {
+		*budgetOut = make([]units.Watts, n)
+	}
+	caps, budgets := *capOut, *budgetOut
+	socs := p.socs
+	for i, v := range view.Racks {
+		socs[i] = v.BatterySOC
+	}
+	pShave = view.TotalDemand - view.PDUBudget
+	if pShave < 0 {
+		pShave = 0
+	}
+	alloc := p.ctrl.AllocateInto(p.alloc, socs, pShave)
+	expected := p.expected
+	var expectedSum units.Watts
+	for i, v := range view.Racks {
+		cap_ := units.Min(alloc[i], v.BatteryMax)
+		cap_ = units.Min(cap_, v.Demand)
+		caps[i] = cap_
+		allocSum += cap_
+		expected[i] = v.Demand - cap_
+		// When capping or shedding already holds the rack's actual draw
+		// below its raw demand (the iPDU outlet meter reports LastDraw),
+		// budget for the real draw — otherwise every soft limit would be
+		// sized for demand nobody is allowed to realize, starving the
+		// slack pool.
+		if v.LastDraw > 0 && v.LastDraw < expected[i] {
+			expected[i] = v.LastDraw
+		}
+		expectedSum += expected[i]
 	}
 	slack := view.PDUBudget - expectedSum
 	perRackBonus := units.Watts(0)
@@ -109,7 +135,7 @@ func (p *vdebPlanner) refresh(view sim.ClusterView) {
 		if b > maxB {
 			b = maxB
 		}
-		p.budgets[i] = b
+		budgets[i] = b
 		budgetSum += b
 	}
 	// Eq. 2: assignments must fit under the PDU budget. When the pool can
@@ -119,10 +145,11 @@ func (p *vdebPlanner) refresh(view sim.ClusterView) {
 	// letting the engine clamp limits below the draws we planned.
 	if budgetSum > view.PDUBudget {
 		scale := float64(view.PDUBudget) / float64(budgetSum)
-		for i := range p.budgets {
-			p.budgets[i] = units.Watts(float64(p.budgets[i]) * scale)
+		for i := range budgets {
+			budgets[i] = units.Watts(float64(budgets[i]) * scale)
 		}
 	}
+	return pShave, allocSum
 }
 
 // planInto produces the per-rack pooling actions for this tick in acts,

@@ -196,6 +196,23 @@ type Config struct {
 	Record bool
 	// RecordStep is the recording resolution. 0 selects the tick.
 	RecordStep time.Duration
+	// SkipQuiescent enables the event-driven fast path: when the engine
+	// can prove a tick is a bitwise no-op except for clocks and
+	// accumulators (no attack group ramping or at a phase boundary, all
+	// batteries at rest and full, breakers only cooling, background trace
+	// frozen, scheme state at its fixed point), it advances a whole span
+	// of such ticks in one analytic kernel call instead of stepping each.
+	// Results, recordings and trace event streams are bit-identical to
+	// per-tick stepping at any Workers count (TestSkipBitIdentity); the
+	// flag only changes speed. Ignored for schemes that do not implement
+	// QuiescentPlanner or battery factories whose stores do not implement
+	// battery.Rester.
+	SkipQuiescent bool
+	// SkipMaxSpan caps how many ticks a single quiescent skip may elide
+	// (0 = bounded only by the next event and the run horizon). Useful
+	// for benchmarks and for drivers that want per-span observability at
+	// a fixed grain.
+	SkipMaxSpan int
 	// Workers enables opt-in intra-run rack parallelism: the per-rack
 	// view and apply kernels fan out over min(Workers, Racks) persistent
 	// goroutines with a barrier per phase, while every cross-rack phase
@@ -303,6 +320,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("sim: workers must be non-negative, got %d", c.Workers)
+	}
+	if c.SkipMaxSpan < 0 {
+		return fmt.Errorf("sim: skip max span must be non-negative, got %d", c.SkipMaxSpan)
 	}
 	return nil
 }

@@ -105,6 +105,14 @@ type Stepper struct {
 	levelScheme   LevelReporter
 	hasLevel      bool
 
+	// Quiescent fast path (nil quiet = disabled): the scheme's planner
+	// contract extension, the batteries' fixed-point probes, and span
+	// counters for observability (see skip.go).
+	quiet     QuiescentPlanner
+	resters   []battery.Rester
+	skipSpans int64
+	skipTicks int64
+
 	demandedWork, deliveredWork float64
 	shedSum                     float64
 	pduDown                     time.Duration
@@ -264,6 +272,7 @@ func NewStepper(cfg Config, scheme Scheme) (*Stepper, error) {
 	st.bg = newBGSampler(cfg.Background)
 	st.scratchScheme, st.hasScratch = scheme.(ScratchPlanner)
 	st.levelScheme, st.hasLevel = scheme.(LevelReporter)
+	st.initSkip()
 
 	st.tracer = cfg.Trace
 	if st.tracer != nil {
@@ -379,9 +388,18 @@ func (st *Stepper) ComputeDemand() []float64 {
 // Step advances one tick with trace-derived demand (ComputeDemand +
 // Advance). It reports false, nil without advancing once the run is
 // done; Run is exactly a loop over Step.
+//
+// With Config.SkipQuiescent set (and a scheme/battery stack that
+// supports it), Step may instead advance a whole span of provably no-op
+// ticks in one analytic call — results, recordings and trace streams are
+// bit-identical either way, and one Step call still returns true per
+// span. Online drivers that call Advance directly never skip.
 func (st *Stepper) Step() (bool, error) {
 	if st.Done() {
 		return false, nil
+	}
+	if st.quiet != nil && st.skipAhead() {
+		return true, nil
 	}
 	if err := st.Advance(st.ComputeDemand()); err != nil {
 		return false, err

@@ -72,6 +72,47 @@ func TestTraceWorkersIdentical(t *testing.T) {
 	}
 }
 
+// TestTraceSkipIdentical pins the tracing side of the quiescent fast
+// path's contract: with SkipQuiescent on, a traced run must produce the
+// same Result AND the same event stream as the per-tick traced run.
+// Quiescent ticks emit nothing (every engine emission is edge-triggered
+// and a quiescent span has no edges), so the only events inside a span
+// are the ones SkipPlan synthesizes — for vDEB and PAD, the 1 s refresh's
+// KindVDEBAlloc records, which must land at the same ticks with the same
+// values as the live refreshes they replace.
+func TestTraceSkipIdentical(t *testing.T) {
+	for scen, mkCfg := range skipScenarios() {
+		for name, mk := range stepperMakers() {
+			t.Run(scen+"/"+name, func(t *testing.T) {
+				base := mkCfg()
+				base.Trace = obs.NewTracer(0)
+				baseRes, err := sim.Run(base, mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := mkCfg()
+				cfg.SkipQuiescent = true
+				cfg.Trace = obs.NewTracer(0)
+				gotRes, err := sim.Run(cfg, mk())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if base.Trace.Dropped() != 0 || cfg.Trace.Dropped() != 0 {
+					t.Fatalf("ring overflowed (%d/%d dropped); comparison needs complete streams",
+						base.Trace.Dropped(), cfg.Trace.Dropped())
+				}
+				if !reflect.DeepEqual(baseRes, gotRes) {
+					t.Fatalf("%s/%s: skip run result diverged under tracing", scen, name)
+				}
+				if !reflect.DeepEqual(base.Trace.Events(), cfg.Trace.Events()) {
+					t.Fatalf("%s/%s: skip run event stream diverged: per-tick %d events, skip %d",
+						scen, name, base.Trace.Len(), cfg.Trace.Len())
+				}
+			})
+		}
+	}
+}
+
 // TestTraceStreamShape sanity-checks the semantics of the emitted stream
 // on an attacked PAD run: ticks are non-decreasing, the attack walks
 // Preparation→Phase-I→Phase-II, the initial level assignment is emitted
