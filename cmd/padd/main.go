@@ -44,7 +44,9 @@ var prof *profiling.Flags
 func main() {
 	var (
 		addr         = flag.String("addr", ":8484", "listen address")
-		replay       = flag.Bool("replay", false, "verify online/offline agreement for every scheme, then exit")
+		shards       = flag.Int("shards", 0, "session manager shards (0 = GOMAXPROCS)")
+		maxSessions  = flag.Int("max-sessions", 0, "resident session cap; creates past it get 503 + Retry-After (0 = unlimited)")
+		replay       = flag.Bool("replay", false, "verify online/offline agreement for every scheme through both ingest paths, then exit")
 		replayFor    = flag.Duration("replay-duration", 2*time.Minute, "simulated horizon for -replay")
 		replaySeed   = flag.Uint64("replay-seed", 42, "seed for the -replay background load and virus")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining sessions")
@@ -72,24 +74,37 @@ func main() {
 	}()
 
 	if *replay {
-		report, err := padd.Replay(padd.ReplayConfig{
-			Duration: *replayFor,
-			Seed:     *replaySeed,
-			Log:      os.Stdout,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		if !report.OK() {
-			for _, s := range report.Schemes {
-				for _, m := range s.Mismatches {
-					logger.Error("replay mismatch", "scheme", s.Scheme, "detail", m)
+		// Both ingest formats must reproduce the offline engine exactly;
+		// a frame-encoding bug that survives JSON would hide otherwise.
+		ok := true
+		for _, mode := range []struct {
+			name   string
+			binary bool
+		}{{"json", false}, {"binary", true}} {
+			fmt.Printf("-- %s ingest path\n", mode.name)
+			report, err := padd.Replay(padd.ReplayConfig{
+				Duration: *replayFor,
+				Seed:     *replaySeed,
+				Binary:   mode.binary,
+				Log:      os.Stdout,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			if !report.OK() {
+				ok = false
+				for _, s := range report.Schemes {
+					for _, m := range s.Mismatches {
+						logger.Error("replay mismatch", "path", mode.name, "scheme", s.Scheme, "detail", m)
+					}
 				}
 			}
+		}
+		if !ok {
 			prof.Stop()
 			os.Exit(1)
 		}
-		fmt.Println("all schemes: online == offline")
+		fmt.Println("all schemes: online == offline (json and binary)")
 		return
 	}
 
@@ -104,7 +119,7 @@ func main() {
 		}()
 	}
 
-	mgr := padd.NewManager()
+	mgr := padd.NewManagerWith(padd.Options{Shards: *shards, MaxSessions: *maxSessions})
 	srv := &http.Server{Addr: *addr, Handler: padd.NewServer(mgr)}
 
 	errc := make(chan error, 1)

@@ -1,0 +1,447 @@
+// Command padload is the fleet load generator for padd: it creates a
+// configurable number of sessions against a live daemon and drives each
+// at a target samples/sec over either ingest path — per-session JSON
+// POSTs or batched binary wire frames — while recording POST round-trip
+// latencies in a histogram.
+//
+// Usage:
+//
+//	padd -addr :8484 &
+//	padload -addr http://localhost:8484 -sessions 1000 -rate 10 -duration 5s -mode binary
+//
+// A ramp profile (-ramp 30s) spreads session creation linearly across
+// the window instead of front-loading it, which is how fleet churn is
+// exercised. With -verify (the default) padload lists every session it
+// created after the drive phase and fails unless the daemon accepted
+// every acknowledged sample losslessly: zero discards and ticks
+// catching up to accepted.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/padd"
+	"repro/internal/padd/wire"
+	"repro/internal/version"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8484", "padd base URL")
+		sessions = flag.Int("sessions", 1000, "sessions to create and drive")
+		rate     = flag.Float64("rate", 10, "samples per second per session")
+		duration = flag.Duration("duration", 10*time.Second, "drive phase length")
+		mode     = flag.String("mode", "binary", "ingest path: binary (batched wire frames) or json (per-session POSTs)")
+		batch    = flag.Int("batch", 10, "samples per session per send")
+		perFrame = flag.Int("frame-sessions", 64, "sessions batched into one binary frame")
+		ramp     = flag.Duration("ramp", 0, "spread session creation over this window (0 = create as fast as possible)")
+		workers  = flag.Int("workers", 16, "concurrent posting goroutines")
+		scheme   = flag.String("scheme", "Conv", "defense scheme for the driven sessions")
+		racks    = flag.Int("racks", 1, "racks per session")
+		spr      = flag.Int("servers-per-rack", 2, "servers per rack per session")
+		prefix   = flag.String("prefix", "load", "session id prefix")
+		keep     = flag.Bool("keep", false, "leave the sessions resident on exit (measure memory, scrape /metrics)")
+		verify   = flag.Bool("verify", true, "after driving, assert lossless ingest (zero discards) across the fleet")
+		verbose  = flag.Bool("v", false, "per-second progress lines")
+		showVer  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVer {
+		fmt.Println("padload", version.String())
+		return
+	}
+	if *mode != "binary" && *mode != "json" {
+		fatal(fmt.Errorf("padload: -mode %q: want binary or json", *mode))
+	}
+	if *sessions < 1 || *batch < 1 || *perFrame < 1 || *workers < 1 || *rate <= 0 {
+		fatal(fmt.Errorf("padload: -sessions, -batch, -frame-sessions, -workers must be >= 1 and -rate > 0"))
+	}
+
+	lg := &loadgen{
+		base:     strings.TrimRight(*addr, "/"),
+		binary:   *mode == "binary",
+		batch:    *batch,
+		perFrame: *perFrame,
+		servers:  *racks * *spr,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        4 * *workers,
+			MaxIdleConnsPerHost: 4 * *workers,
+		}},
+	}
+
+	// Phase 1: create the fleet, optionally ramped.
+	ids := make([]string, *sessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%s-%06d", *prefix, i)
+	}
+	t0 := time.Now()
+	if err := lg.createAll(ids, *scheme, *racks, *spr, *ramp, *workers); err != nil {
+		fatal(err)
+	}
+	created := time.Since(t0)
+	fmt.Printf("padload: created %d sessions in %v (%.0f sessions/sec)\n",
+		*sessions, created.Round(time.Millisecond), float64(*sessions)/created.Seconds())
+
+	// Phase 2: drive. Each round sends -batch samples to every session,
+	// paced so each session averages -rate samples/sec.
+	interval := time.Duration(float64(*batch) / *rate * float64(time.Second))
+	rounds := int(math.Ceil(duration.Seconds() / interval.Seconds()))
+	if rounds < 1 {
+		rounds = 1
+	}
+	t0 = time.Now()
+	lg.drive(ids, rounds, interval, *workers, *verbose)
+	drove := time.Since(t0)
+
+	sent := lg.samples.Load()
+	fmt.Printf("padload: %s mode: %d samples across %d sessions in %v (%.0f samples/sec), %d posts, %d backpressure retries\n",
+		*mode, sent, *sessions, drove.Round(time.Millisecond),
+		float64(sent)/drove.Seconds(), lg.posts.Load(), lg.retries.Load())
+	lg.hist.report(os.Stdout)
+	if n := lg.errors.Load(); n > 0 {
+		fatal(fmt.Errorf("padload: %d posts failed hard (non-429)", n))
+	}
+
+	// Phase 3: verify lossless ingest, then clean up.
+	if *verify {
+		if err := lg.verify(ids, sent); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("padload: verified: every acknowledged sample ticked, zero discards\n")
+	}
+	if !*keep {
+		if err := lg.deleteAll(ids, *workers); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+type loadgen struct {
+	base     string
+	binary   bool
+	batch    int
+	perFrame int
+	servers  int
+	client   *http.Client
+
+	samples atomic.Int64
+	posts   atomic.Int64
+	retries atomic.Int64
+	errors  atomic.Int64
+	hist    latencyHist
+}
+
+// createAll creates the fleet with -workers concurrent creators; with a
+// ramp window, creation is paced so session i lands at i/N into the
+// window.
+func (lg *loadgen) createAll(ids []string, scheme string, racks, spr int, ramp time.Duration, workers int) error {
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	start := time.Now()
+	next := atomic.Int64{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				if ramp > 0 {
+					due := start.Add(time.Duration(float64(ramp) * float64(i) / float64(len(ids))))
+					if d := time.Until(due); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				cfg := padd.SessionConfig{
+					ID: ids[i], Scheme: scheme, Racks: racks, ServersPerRack: spr,
+				}
+				body, _ := json.Marshal(cfg)
+				for {
+					code, respBody, err := lg.post("/v1/sessions", "application/json", body)
+					if err == nil && code == http.StatusCreated {
+						break
+					}
+					if err == nil && code == http.StatusServiceUnavailable {
+						// -max-sessions or a draining daemon: back off.
+						time.Sleep(100 * time.Millisecond)
+						continue
+					}
+					if err == nil {
+						err = fmt.Errorf("create %s: HTTP %d: %s", ids[i], code, respBody)
+					}
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// drive runs the paced send rounds. Sessions are partitioned across
+// workers; binary mode batches -frame-sessions records per POST.
+func (lg *loadgen) drive(ids []string, rounds int, interval time.Duration, workers int, verbose bool) {
+	var wg sync.WaitGroup
+	per := (len(ids) + workers - 1) / workers
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w int, ids []string) {
+			defer wg.Done()
+			flat := make([]float64, lg.batch*lg.servers)
+			var enc wire.Encoder
+			var jsonBody []byte
+			for r := 0; r < rounds; r++ {
+				// Pace: round r begins at start + r*interval.
+				if d := time.Until(start.Add(time.Duration(r) * interval)); d > 0 {
+					time.Sleep(d)
+				}
+				lg.fill(flat, w, r)
+				if lg.binary {
+					for lo := 0; lo < len(ids); lo += lg.perFrame {
+						hi := lo + lg.perFrame
+						if hi > len(ids) {
+							hi = len(ids)
+						}
+						enc.Reset()
+						for _, id := range ids[lo:hi] {
+							if err := enc.AppendFlat(id, lg.batch, lg.servers, flat); err != nil {
+								lg.errors.Add(1)
+								return
+							}
+						}
+						lg.send("/v1/ingest", "application/octet-stream", enc.Frame(), (hi-lo)*lg.batch)
+					}
+				} else {
+					var req padd.TelemetryRequest
+					for i := 0; i < lg.batch; i++ {
+						req.Samples = append(req.Samples,
+							padd.TelemetrySample{U: flat[i*lg.servers : (i+1)*lg.servers]})
+					}
+					jsonBody, _ = json.Marshal(req)
+					for _, id := range ids {
+						lg.send("/v1/sessions/"+id+"/telemetry", "application/json", jsonBody, lg.batch)
+					}
+				}
+				if verbose && w == 0 {
+					fmt.Printf("padload: round %d/%d, %d samples sent\n", r+1, rounds, lg.samples.Load())
+				}
+			}
+		}(w, ids[lo:hi])
+	}
+	wg.Wait()
+}
+
+// fill writes one round's utilization: a slow sine per worker with a
+// small per-sample phase shift, always inside [0, 1].
+func (lg *loadgen) fill(flat []float64, worker, round int) {
+	for i := range flat {
+		phase := float64(round*len(flat)+i)/200 + float64(worker)
+		flat[i] = 0.5 + 0.4*math.Sin(phase)
+	}
+}
+
+// send posts one ingest payload, retrying on 429 until accepted, and
+// observes the round-trip latency of every attempt.
+func (lg *loadgen) send(path, contentType string, body []byte, samples int) {
+	for {
+		t0 := time.Now()
+		code, respBody, err := lg.post(path, contentType, body)
+		lg.hist.observe(time.Since(t0))
+		lg.posts.Add(1)
+		if err != nil {
+			lg.errors.Add(1)
+			return
+		}
+		switch code {
+		case http.StatusAccepted:
+			lg.samples.Add(int64(samples))
+			return
+		case http.StatusTooManyRequests:
+			lg.retries.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		default:
+			fmt.Fprintf(os.Stderr, "padload: %s: HTTP %d: %s\n", path, code, respBody)
+			lg.errors.Add(1)
+			return
+		}
+	}
+}
+
+func (lg *loadgen) post(path, contentType string, body []byte) (int, string, error) {
+	resp, err := lg.client.Post(lg.base+path, contentType, bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+	return resp.StatusCode, string(bytes.TrimSpace(out)), nil
+}
+
+// verify lists the fleet and checks the lossless-ingest contract: the
+// daemon must eventually tick every acknowledged sample and discard
+// nothing. Polls briefly to let queues drain.
+func (lg *loadgen) verify(ids []string, sent int64) error {
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := lg.client.Get(lg.base + "/v1/sessions")
+		if err != nil {
+			return err
+		}
+		var list struct {
+			Sessions []padd.SessionStatus `json:"sessions"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		var accepted, ticks, discarded, coasts, queued int64
+		for _, st := range list.Sessions {
+			if !want[st.ID] {
+				continue
+			}
+			accepted += st.Accepted
+			ticks += st.Ticks
+			discarded += st.Discarded
+			coasts += st.Coasts
+			queued += int64(st.QueueDepth)
+		}
+		if discarded > 0 {
+			return fmt.Errorf("padload: verify: %d samples discarded", discarded)
+		}
+		if queued == 0 && ticks == accepted+coasts {
+			if accepted != sent {
+				return fmt.Errorf("padload: verify: daemon accepted %d samples, padload sent %d", accepted, sent)
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("padload: verify: queues not drained: %d queued, %d/%d ticked", queued, ticks, accepted+coasts)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (lg *loadgen) deleteAll(ids []string, workers int) error {
+	var wg sync.WaitGroup
+	next := atomic.Int64{}
+	var failed atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				req, _ := http.NewRequest(http.MethodDelete, lg.base+"/v1/sessions/"+ids[i], nil)
+				resp, err := lg.client.Do(req)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := failed.Load(); n > 0 {
+		return fmt.Errorf("padload: %d deletes failed", n)
+	}
+	return nil
+}
+
+// latencyHist is a power-of-two histogram of POST round-trip times.
+type latencyHist struct {
+	counts [22]atomic.Int64 // bucket i: < 2^i * 16us; last is overflow
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds() / 16
+	b := 0
+	for us > 0 && b < len(h.counts)-1 {
+		us >>= 1
+		b++
+	}
+	h.counts[b].Add(1)
+}
+
+// report prints p50/p90/p99/max estimated from bucket upper bounds.
+func (h *latencyHist) report(w io.Writer) {
+	var counts [22]int64
+	total := int64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return
+	}
+	bound := func(b int) time.Duration {
+		return time.Duration(16<<b) * time.Microsecond
+	}
+	quantile := func(q float64) time.Duration {
+		target := int64(math.Ceil(q * float64(total)))
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				return bound(i)
+			}
+		}
+		return bound(len(counts) - 1)
+	}
+	qs := []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"max", 1}}
+	parts := make([]string, 0, len(qs))
+	for _, s := range qs {
+		parts = append(parts, fmt.Sprintf("%s<%v", s.name, quantile(s.q)))
+	}
+	fmt.Fprintf(w, "padload: post latency: %s (%d posts)\n", strings.Join(parts, " "), total)
+}

@@ -1,0 +1,173 @@
+package padd_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/padd"
+	"repro/internal/padd/wire"
+)
+
+// benchFleet boots a manager with a 64-session fleet sized like one
+// padload shard: 8 servers each, deep queues so the benchmark measures
+// sustained ingest rather than backpressure ping-pong.
+func benchFleet(b *testing.B) (*padd.Manager, *padd.Server, []string) {
+	b.Helper()
+	mgr := padd.NewManagerWith(padd.Options{})
+	b.Cleanup(func() { mgr.Shutdown(context.Background()) })
+	ids := make([]string, 64)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%03d", i)
+		_, err := mgr.Create(padd.SessionConfig{
+			ID:             ids[i],
+			Scheme:         "Conv",
+			Racks:          2,
+			ServersPerRack: 4,
+			QueueDepth:     256,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return mgr, padd.NewServer(mgr), ids
+}
+
+// ingestLoop posts one frame per pending-id set until every record is
+// accepted, resending exactly the rejected records on backpressure.
+// Returns the number of POST round trips taken.
+func ingestLoop(b *testing.B, srv *padd.Server, enc *wire.Encoder, ids []string, samples, servers int, flat []float64) int {
+	b.Helper()
+	posts := 0
+	pending := ids
+	for len(pending) > 0 {
+		enc.Reset()
+		for _, id := range pending {
+			if err := enc.AppendFlat(id, samples, servers, flat); err != nil {
+				b.Fatal(err)
+			}
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(enc.Frame()))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		posts++
+		if rec.Code != http.StatusAccepted && rec.Code != http.StatusTooManyRequests {
+			b.Fatalf("ingest: HTTP %d: %s", rec.Code, rec.Body.String())
+		}
+		var ir padd.IngestResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &ir); err != nil {
+			b.Fatal(err)
+		}
+		next := pending[:0:0]
+		for _, rej := range ir.Rejects {
+			next = append(next, rej.ID)
+		}
+		pending = next
+		if len(pending) > 0 {
+			time.Sleep(20 * time.Microsecond) // let the shard workers drain
+		}
+	}
+	return posts
+}
+
+// BenchmarkFleetIngestBinary is the CI-gated fleet ingest path: one
+// binary frame carrying 64 sessions × 16 samples through the full HTTP
+// handler (decode, shard routing, enqueue) with the shard workers
+// consuming concurrently. One op is a fully-accepted frame — 1024
+// samples — so ns/op directly bounds sustained fleet samples/sec.
+func BenchmarkFleetIngestBinary(b *testing.B) {
+	const (
+		samples = 16
+		servers = 8
+	)
+	_, srv, ids := benchFleet(b)
+	flat := make([]float64, samples*servers)
+	for i := range flat {
+		flat[i] = float64(i%100) / 100
+	}
+	var enc wire.Encoder
+	posts := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		posts += ingestLoop(b, srv, &enc, ids, samples, servers, flat)
+	}
+	b.StopTimer()
+	total := float64(b.N) * float64(len(ids)*samples)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "samples/sec")
+	b.ReportMetric(float64(posts)/float64(b.N), "posts/op")
+}
+
+// BenchmarkFleetIngestJSON is the same workload through the
+// compatibility path: 64 per-session JSON POSTs per op. Kept beside the
+// binary benchmark so BENCH_padd.json records what the frame format
+// buys at fleet scale.
+func BenchmarkFleetIngestJSON(b *testing.B) {
+	const (
+		samples = 16
+		servers = 8
+	)
+	_, srv, ids := benchFleet(b)
+	var treq padd.TelemetryRequest
+	for i := 0; i < samples; i++ {
+		u := make([]float64, servers)
+		for j := range u {
+			u[j] = float64(j%100) / 100
+		}
+		treq.Samples = append(treq.Samples, padd.TelemetrySample{U: u})
+	}
+	body, err := json.Marshal(treq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range ids {
+			for {
+				req := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+id+"/telemetry", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code == http.StatusAccepted {
+					break
+				}
+				if rec.Code != http.StatusTooManyRequests {
+					b.Fatalf("telemetry: HTTP %d: %s", rec.Code, rec.Body.String())
+				}
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}
+	b.StopTimer()
+	total := float64(b.N) * float64(len(ids)*samples)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "samples/sec")
+}
+
+// BenchmarkSessionCreate is one full session lifecycle — create on a
+// shard, drain, delete — the sessions/sec number a fleet churn (padload
+// ramp profiles) is bounded by.
+func BenchmarkSessionCreate(b *testing.B) {
+	mgr := padd.NewManagerWith(padd.Options{})
+	defer mgr.Shutdown(context.Background())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := mgr.Create(padd.SessionConfig{
+			ID:             fmt.Sprintf("churn-%d", i),
+			Scheme:         "Conv",
+			Racks:          1,
+			ServersPerRack: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mgr.Delete(s.ID()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/sec")
+}

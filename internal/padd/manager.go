@@ -4,7 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
+	"runtime"
+	"sync/atomic"
 )
 
 // Manager errors the HTTP layer maps onto status codes.
@@ -13,72 +14,159 @@ var (
 	ErrShuttingDown = errors.New("padd: shutting down")
 	// ErrNotFound means no such session (404).
 	ErrNotFound = errors.New("padd: no such session")
+	// ErrSessionLimit means -max-sessions is reached (503 + Retry-After).
+	ErrSessionLimit = errors.New("padd: session limit reached")
 )
 
-// Manager owns the live sessions. All methods are safe for concurrent
-// use.
+// Options sizes the manager for its fleet.
+type Options struct {
+	// Shards is the number of independent session shards. Default
+	// GOMAXPROCS. Session CRUD and ingest on different shards never
+	// contend on a lock.
+	Shards int
+	// ShardWorkers is the worker-pool size per shard. Default 1 —
+	// with one shard per core, one worker each saturates the machine
+	// while keeping each session's engine single-threaded by
+	// construction.
+	ShardWorkers int
+	// MaxSessions caps resident sessions fleet-wide; 0 means
+	// unlimited. Past the cap, Create returns ErrSessionLimit so a
+	// runaway load generator degrades into 503s instead of an OOM.
+	MaxSessions int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.ShardWorkers <= 0 {
+		o.ShardWorkers = 1
+	}
+	return o
+}
+
+// Manager owns the live sessions, spread over opts.Shards independent
+// shards routed by FNV-1a hash of the session id. All methods are safe
+// for concurrent use.
 type Manager struct {
-	mu       sync.RWMutex
-	sessions map[string]*Session
-	closed   bool
-	nextID   int
+	opts   Options
+	shards []*shard
+
+	nextID atomic.Int64
+	closed atomic.Bool
+	count  atomic.Int64 // resident sessions, for MaxSessions
+
+	framesJSON   atomic.Int64
+	framesBinary atomic.Int64
+	batchSizes   batchHist
 }
 
-// NewManager creates an empty session manager.
-func NewManager() *Manager {
-	return &Manager{sessions: make(map[string]*Session)}
+// NewManager creates a session manager with default fleet sizing.
+func NewManager() *Manager { return NewManagerWith(Options{}) }
+
+// NewManagerWith creates a session manager sized by opts.
+func NewManagerWith(opts Options) *Manager {
+	opts = opts.withDefaults()
+	m := &Manager{opts: opts, shards: make([]*shard, opts.Shards)}
+	for i := range m.shards {
+		m.shards[i] = newShard(opts.ShardWorkers)
+	}
+	return m
 }
 
-// Create validates cfg, applies defaults and starts a new session.
+// fnvIndex routes an id to its shard: FNV-1a over the id bytes, modulo
+// the shard count. Generic over string | []byte so the binary ingest
+// path routes without converting the id.
+func fnvIndex[T string | []byte](id T, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return int(h % uint32(n))
+}
+
+func (m *Manager) shardFor(id string) *shard {
+	return m.shards[fnvIndex(id, len(m.shards))]
+}
+
+// Create validates cfg, applies defaults and registers a new session
+// on its shard.
 func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Load() {
 		return nil, ErrShuttingDown
 	}
-	if cfg.ID == "" {
-		m.nextID++
-		cfg.ID = fmt.Sprintf("s%d", m.nextID)
+	if max := int64(m.opts.MaxSessions); max > 0 && m.count.Add(1) > max {
+		m.count.Add(-1)
+		return nil, ErrSessionLimit
 	}
-	if _, dup := m.sessions[cfg.ID]; dup {
-		m.mu.Unlock()
+	// From here every failure path must give the slot back.
+	rollback := func() { m.count.Add(-1) }
+
+	if cfg.ID == "" {
+		cfg.ID = fmt.Sprintf("s%d", m.nextID.Add(1))
+	}
+	sh := m.shardFor(cfg.ID)
+
+	sh.mu.Lock()
+	if _, dup := sh.sessions[cfg.ID]; dup {
+		sh.mu.Unlock()
+		rollback()
 		return nil, fmt.Errorf("padd: session %q already exists", cfg.ID)
 	}
 	// Reserve the id before the (fallible) construction so a concurrent
 	// Create of the same id fails fast.
-	m.sessions[cfg.ID] = nil
-	m.mu.Unlock()
+	sh.sessions[cfg.ID] = nil
+	sh.mu.Unlock()
 
-	s, err := newSession(cfg.ID, cfg)
+	s, err := newSession(cfg.ID, cfg, sh)
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh.mu.Lock()
 	if err != nil {
-		delete(m.sessions, cfg.ID)
+		delete(sh.sessions, cfg.ID)
+		sh.mu.Unlock()
+		rollback()
 		return nil, err
 	}
-	if m.closed {
-		// Shutdown raced the construction; don't leak the goroutine.
-		delete(m.sessions, cfg.ID)
-		m.mu.Unlock()
+	if m.closed.Load() {
+		// Shutdown raced the construction; drain the orphan ourselves
+		// (Stop claims the actor inline if the pool is already gone).
+		delete(sh.sessions, cfg.ID)
+		sh.mu.Unlock()
+		sh.removeWallClock(s)
 		s.Stop()
-		m.mu.Lock()
+		rollback()
 		return nil, ErrShuttingDown
 	}
-	m.sessions[cfg.ID] = s
+	sh.sessions[cfg.ID] = s
+	sh.mu.Unlock()
 	return s, nil
 }
 
 // Get returns the named session.
 func (m *Manager) Get(id string) (*Session, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	s, ok := m.sessions[id]
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	if !ok || s == nil {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// lookupBytes is Get for the binary ingest path: a map lookup keyed by
+// a []byte id without allocating the string (the compiler elides the
+// conversion inside the index expression).
+func (m *Manager) lookupBytes(id []byte) (*Session, error) {
+	sh := m.shards[fnvIndex(id, len(m.shards))]
+	sh.mu.RLock()
+	s, ok := sh.sessions[string(id)]
+	sh.mu.RUnlock()
 	if !ok || s == nil {
 		return nil, ErrNotFound
 	}
@@ -87,68 +175,88 @@ func (m *Manager) Get(id string) (*Session, error) {
 
 // List returns the live sessions in unspecified order.
 func (m *Manager) List() []*Session {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]*Session, 0, len(m.sessions))
-	for _, s := range m.sessions {
-		if s != nil {
-			out = append(out, s)
+	var out []*Session
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			if s != nil {
+				out = append(out, s)
+			}
 		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// ShardSessions returns the resident-session count per shard, for the
+// padd_shard_sessions metric family.
+func (m *Manager) ShardSessions() []int {
+	out := make([]int, len(m.shards))
+	for i, sh := range m.shards {
+		sh.mu.RLock()
+		n := 0
+		for _, s := range sh.sessions {
+			if s != nil {
+				n++
+			}
+		}
+		out[i] = n
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // Delete stops the named session (draining its queue) and removes it.
 func (m *Manager) Delete(id string) (*Session, error) {
-	m.mu.Lock()
-	s, ok := m.sessions[id]
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if !ok || s == nil {
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, ErrNotFound
 	}
-	delete(m.sessions, id)
-	m.mu.Unlock()
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	sh.removeWallClock(s)
 	s.Stop()
+	m.count.Add(-1)
 	return s, nil
 }
 
 // Healthy reports whether the manager accepts work.
-func (m *Manager) Healthy() bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return !m.closed
-}
+func (m *Manager) Healthy() bool { return !m.closed.Load() }
 
-// Shutdown rejects new work, then stops every session — draining each
-// queue so no acknowledged telemetry is lost — bounded by ctx.
+// Shutdown rejects new work, then drains every shard concurrently —
+// no acknowledged telemetry is lost — bounded by ctx. The drain is
+// two-phase: first every session is flagged stopping and scheduled
+// (O(1) per session), then the shard pools chew through the queues in
+// parallel while Shutdown waits on the done channels. On deadline the
+// pools are left running so an external retry can finish the drain.
 func (m *Manager) Shutdown(ctx context.Context) error {
-	m.mu.Lock()
-	m.closed = true
-	ss := make([]*Session, 0, len(m.sessions))
-	for _, s := range m.sessions {
-		if s != nil {
-			ss = append(ss, s)
-		}
-	}
-	m.mu.Unlock()
+	m.closed.Store(true)
 
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		var wg sync.WaitGroup
-		for _, s := range ss {
-			wg.Add(1)
-			go func(s *Session) {
-				defer wg.Done()
-				s.Stop()
-			}(s)
+	var ss []*Session
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			if s != nil {
+				ss = append(ss, s)
+			}
 		}
-		wg.Wait()
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+		sh.mu.RUnlock()
 	}
+	for _, s := range ss {
+		s.beginStop()
+	}
+	for _, s := range ss {
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for _, sh := range m.shards {
+		sh.stopWorkers()
+	}
+	return nil
 }

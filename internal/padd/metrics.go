@@ -3,6 +3,8 @@ package padd
 import (
 	"io"
 	"sort"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -40,6 +42,73 @@ func (h *latencyHist) observe(d time.Duration) {
 	h.counts[len(latencyBounds)]++
 }
 
+// batchBounds are the ingest batch-size histogram bucket upper bounds
+// (samples per accepted batch). Powers of two from a single sample up
+// to the largest burst a frame record can reasonably carry.
+var batchBounds = [numBatchBounds]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+const numBatchBounds = 11
+
+// batchHist is a lock-free fixed-bucket histogram of ingest batch
+// sizes, written by every ingest handler concurrently. Buckets are
+// independent atomics — a scrape may be torn across a single observe,
+// which Prometheus histograms tolerate by design.
+type batchHist struct {
+	counts [numBatchBounds + 1]atomic.Uint64 // +Inf bucket last
+	sum    atomic.Uint64
+	total  atomic.Uint64
+}
+
+func (h *batchHist) observe(samples int) {
+	h.sum.Add(uint64(samples))
+	h.total.Add(1)
+	for i, b := range batchBounds {
+		if float64(samples) <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[numBatchBounds].Add(1)
+}
+
+// noteIngest records one accepted ingest batch in the given format
+// ("json" or "binary"). Frame-level accounting (frames_total) is done
+// once per POST by noteFrame.
+func (m *Manager) noteIngest(samples int) { m.batchSizes.observe(samples) }
+
+// noteFrame counts one ingest POST by format.
+func (m *Manager) noteFrame(binary bool) {
+	if binary {
+		m.framesBinary.Add(1)
+	} else {
+		m.framesJSON.Add(1)
+	}
+}
+
+// fleetMetrics is the manager-level scrape snapshot.
+type fleetMetrics struct {
+	ShardSessions []int
+	FramesJSON    int64
+	FramesBinary  int64
+	BatchCounts   [numBatchBounds + 1]uint64
+	BatchSum      float64
+	BatchTotal    uint64
+}
+
+func (m *Manager) fleetMetrics() fleetMetrics {
+	fm := fleetMetrics{
+		ShardSessions: m.ShardSessions(),
+		FramesJSON:    m.framesJSON.Load(),
+		FramesBinary:  m.framesBinary.Load(),
+	}
+	for i := range fm.BatchCounts {
+		fm.BatchCounts[i] = m.batchSizes.counts[i].Load()
+	}
+	fm.BatchSum = float64(m.batchSizes.sum.Load())
+	fm.BatchTotal = m.batchSizes.total.Load()
+	return fm
+}
+
 // metricsRow is one session's scrape snapshot, paired with its ID.
 type metricsRow struct {
 	ID string
@@ -56,7 +125,7 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 	for i, s := range sessions {
 		rows[i] = metricsRow{ID: s.ID(), M: s.metrics()}
 	}
-	writeSessionMetrics(w, rows)
+	writeSessionMetrics(w, m.fleetMetrics(), rows)
 }
 
 // writeSessionMetrics renders the exposition for the given snapshot rows
@@ -64,10 +133,20 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 // instrumented subsystems speak one format. Split from WriteMetrics so
 // the byte format is testable against deterministic synthetic rows; the
 // padd golden test pins it against the pre-registry output.
-func writeSessionMetrics(w io.Writer, rows []metricsRow) {
+func writeSessionMetrics(w io.Writer, fm fleetMetrics, rows []metricsRow) {
 	reg := obs.NewRegistry()
 	reg.Gauge("padd_up", "Whether the daemon is serving.", "").Set("", 1)
 	reg.Gauge("padd_sessions", "Number of live sessions.", "").Set("", float64(len(rows)))
+
+	shardSessions := reg.Gauge("padd_shard_sessions", "Resident sessions per manager shard.", "shard")
+	for i, n := range fm.ShardSessions {
+		shardSessions.Set(strconv.Itoa(i), float64(n))
+	}
+	frames := reg.Counter("padd_ingest_frames_total", "Telemetry ingest requests by wire format.", "format")
+	frames.Set("json", float64(fm.FramesJSON))
+	frames.Set("binary", float64(fm.FramesBinary))
+	reg.Histogram("padd_ingest_batch_size", "Samples per accepted ingest batch.", "", batchBounds[:]).
+		SetHistogram("", fm.BatchCounts[:], fm.BatchSum, fm.BatchTotal)
 
 	gauge := func(name, help string) *obs.Family { return reg.Gauge(name, help, "session") }
 	counter := func(name, help string) *obs.Family { return reg.Counter(name, help, "session") }

@@ -58,13 +58,28 @@ func goldenRows() []metricsRow {
 	return []metricsRow{{ID: "alpha", M: a}, {ID: "beta", M: b}}
 }
 
+// goldenFleet is the matching deterministic manager-level snapshot:
+// two shards, both ingest formats exercised, and a hand-set batch-size
+// histogram.
+func goldenFleet() fleetMetrics {
+	fm := fleetMetrics{
+		ShardSessions: []int{1, 1},
+		FramesJSON:    40,
+		FramesBinary:  8,
+	}
+	fm.BatchCounts = [numBatchBounds + 1]uint64{5, 3, 10, 20, 8, 1, 0, 0, 0, 0, 1, 0}
+	fm.BatchSum = 4850
+	fm.BatchTotal = 48
+	return fm
+}
+
 // TestMetricsGolden pins the Prometheus text exposition byte-for-byte.
 // The format is an interface monitoring dashboards scrape; any change to
 // names, ordering, label layout or number formatting must be deliberate
 // (regenerate with -update) and called out.
 func TestMetricsGolden(t *testing.T) {
 	var buf bytes.Buffer
-	writeSessionMetrics(&buf, goldenRows())
+	writeSessionMetrics(&buf, goldenFleet(), goldenRows())
 
 	golden := filepath.Join("testdata", "metrics.golden")
 	if *updateGolden {
@@ -89,10 +104,15 @@ func TestMetricsGolden(t *testing.T) {
 // declares itself so dashboards see the schema before the first session.
 func TestMetricsEmpty(t *testing.T) {
 	var buf bytes.Buffer
-	writeSessionMetrics(&buf, nil)
+	writeSessionMetrics(&buf, fleetMetrics{}, nil)
 	out := buf.String()
 	for _, want := range []string{
 		"padd_up 1\n", "padd_sessions 0\n",
+		"# TYPE padd_shard_sessions gauge\n",
+		"padd_ingest_frames_total{format=\"binary\"} 0\n",
+		"padd_ingest_frames_total{format=\"json\"} 0\n",
+		"# TYPE padd_ingest_batch_size histogram\n",
+		"padd_ingest_batch_size_count 0\n",
 		"# TYPE padd_session_soc gauge\n",
 		"# TYPE padd_session_ticks_total counter\n",
 		"# TYPE padd_tick_latency_seconds histogram\n",

@@ -11,6 +11,7 @@ import (
 	"reflect"
 	"time"
 
+	"repro/internal/padd/wire"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -49,6 +50,10 @@ type ReplayConfig struct {
 	AttackFactory func() ([]sim.AttackSpec, error)
 	// BatchSize is the number of ticks per telemetry POST.
 	BatchSize int
+	// Binary streams the online pass through the batched binary ingest
+	// endpoint (/v1/ingest) instead of the per-session JSON route. The
+	// two paths must agree bit for bit; -replay proves both.
+	Binary bool
 	// Log, when set, receives one progress line per scheme.
 	Log io.Writer
 }
@@ -260,17 +265,36 @@ func runOnline(cfg ReplayConfig, name string, demand [][]float64, mgr *Manager, 
 		return nil, fmt.Errorf("create session: HTTP %d: %s", code, body)
 	}
 
+	var enc wire.Encoder
 	for start := 0; start < len(demand); start += cfg.BatchSize {
 		end := start + cfg.BatchSize
 		if end > len(demand) {
 			end = len(demand)
 		}
-		var req TelemetryRequest
-		for _, u := range demand[start:end] {
-			req.Samples = append(req.Samples, TelemetrySample{U: u})
+		var (
+			url  string
+			body []byte
+			ct   string
+		)
+		if cfg.Binary {
+			enc.Reset()
+			if err := enc.AppendSamples(id, demand[start:end]); err != nil {
+				return nil, err
+			}
+			url, body, ct = base+"/v1/ingest", enc.Frame(), "application/octet-stream"
+		} else {
+			var req TelemetryRequest
+			for _, u := range demand[start:end] {
+				req.Samples = append(req.Samples, TelemetrySample{U: u})
+			}
+			b, err := json.Marshal(req)
+			if err != nil {
+				return nil, err
+			}
+			url, body, ct = base+"/v1/sessions/"+id+"/telemetry", b, "application/json"
 		}
 		for {
-			code, body, err := postJSON(base+"/v1/sessions/"+id+"/telemetry", req)
+			code, respBody, err := post(url, ct, body)
 			if err != nil {
 				return nil, err
 			}
@@ -282,7 +306,7 @@ func runOnline(cfg ReplayConfig, name string, demand [][]float64, mgr *Manager, 
 				time.Sleep(2 * time.Millisecond)
 				continue
 			}
-			return nil, fmt.Errorf("telemetry: HTTP %d: %s", code, body)
+			return nil, fmt.Errorf("telemetry: HTTP %d: %s", code, respBody)
 		}
 	}
 
@@ -309,7 +333,11 @@ func postJSON(url string, v any) (int, string, error) {
 	if err != nil {
 		return 0, "", err
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	return post(url, "application/json", body)
+}
+
+func post(url, contentType string, body []byte) (int, string, error) {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
 		return 0, "", err
 	}

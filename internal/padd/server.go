@@ -1,12 +1,17 @@
 package padd
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
+
+	"repro/internal/padd/wire"
 )
 
 // maxBodyBytes bounds a request body; a full-scale 220-server batch of
@@ -22,6 +27,7 @@ const maxBodyBytes = 32 << 20
 //	GET    /v1/sessions/{id}             one session's status
 //	DELETE /v1/sessions/{id}             stop (drain) and remove a session
 //	POST   /v1/sessions/{id}/telemetry   ingest telemetry (202; 429 on full queue)
+//	POST   /v1/ingest                    batched binary ingest (wire frame, many sessions)
 //	POST   /v1/sessions/{id}/resume      release a paused session
 //	GET    /v1/sessions/{id}/events      ring-buffered action log (?since=N)
 type Server struct {
@@ -39,6 +45,7 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/resume", s.handleResume)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
 	return s
@@ -83,7 +90,10 @@ type SessionStatus struct {
 	Anomalies  int64 `json:"anomalies"`
 }
 
-func statusOf(s *Session) SessionStatus {
+func statusOf(s *Session) SessionStatus { return s.Status() }
+
+// Status snapshots the session's public state.
+func (s *Session) Status() SessionStatus {
 	cfg := s.Config()
 	sm := s.metrics()
 	st := SessionStatus{
@@ -159,6 +169,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.mgr.Create(cfg)
 	if err != nil {
 		switch {
+		case errors.Is(err, ErrSessionLimit):
+			// The fleet is at -max-sessions: shed load rather than OOM.
+			w.Header().Set("Retry-After", "5")
+			writeErr(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrShuttingDown):
 			writeErr(w, http.StatusServiceUnavailable, err)
 		default:
@@ -244,6 +258,7 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Samples {
 		samples[i] = req.Samples[i].U
 	}
+	s.mgr.noteFrame(false)
 	if err := sess.Enqueue(samples); err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -258,10 +273,118 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.mgr.noteIngest(len(samples))
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"accepted":    len(samples),
-		"queue_depth": len(sess.inbox),
+		"queue_depth": sess.queueLen(),
 	})
+}
+
+// bodyPool recycles binary-ingest body buffers; at fleet rates the
+// frame read is the only per-request allocation worth worrying about.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// IngestReject describes one record the batched ingest endpoint could
+// not accept; the rest of the frame is unaffected.
+type IngestReject struct {
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
+// IngestResponse summarizes one binary frame's fate: per-record
+// accept/reject, never all-or-nothing.
+type IngestResponse struct {
+	Records  int            `json:"records"`
+	Accepted int            `json:"accepted_records"`
+	Samples  int            `json:"accepted_samples"`
+	Rejects  []IngestReject `json:"rejects,omitempty"`
+}
+
+// handleIngest is the fleet ingest path: one wire frame carrying
+// telemetry for many sessions in a single POST. Records are routed,
+// validated and enqueued independently — a full queue on one session
+// rejects that record only. The response is 202 when anything was
+// accepted; an all-rejected frame maps to 429 (every rejection was
+// backpressure, client should retry whole) or 400 otherwise.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyPool.Put(buf)
+	if _, err := io.Copy(buf, http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad frame: %w", err))
+		return
+	}
+	var d wire.Decoder
+	if err := d.Reset(buf.Bytes()); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mgr.noteFrame(true)
+
+	var (
+		rec      wire.Record
+		resp     IngestResponse
+		allFull  = true
+		allDrain = true
+	)
+	reject := func(id []byte, err error) {
+		if !errors.Is(err, ErrQueueFull) {
+			allFull = false
+		}
+		if !errors.Is(err, ErrStopping) {
+			allDrain = false
+		}
+		resp.Rejects = append(resp.Rejects, IngestReject{ID: string(id), Error: err.Error()})
+	}
+	for {
+		err := d.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// The frame went bad mid-decode; everything before the
+			// corruption is already enqueued and stays accepted.
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Records++
+		sess, err := s.mgr.lookupBytes(rec.ID)
+		if err != nil {
+			reject(rec.ID, err)
+			continue
+		}
+		flat, err := rec.FloatsInto(getFlat(rec.Values()))
+		if err != nil {
+			putFlat(flat)
+			reject(rec.ID, err)
+			continue
+		}
+		if want := sess.st.TotalServers(); rec.Servers != want {
+			putFlat(flat)
+			reject(rec.ID, fmt.Errorf("padd: record has %d servers, session has %d", rec.Servers, want))
+			continue
+		}
+		if err := sess.EnqueueFlat(flat, rec.Samples); err != nil {
+			putFlat(flat)
+			reject(rec.ID, err)
+			continue
+		}
+		resp.Accepted++
+		resp.Samples += rec.Samples
+		s.mgr.noteIngest(rec.Samples)
+	}
+
+	switch {
+	case resp.Accepted > 0 || resp.Records == 0:
+		writeJSON(w, http.StatusAccepted, resp)
+	case allFull:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, resp)
+	case allDrain:
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+	default:
+		writeJSON(w, http.StatusBadRequest, resp)
+	}
 }
 
 func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {

@@ -24,14 +24,66 @@ var (
 	ErrStopping = errors.New("padd: session stopping")
 )
 
-// telemetryBatch is one accepted ingest unit: consecutive per-server
-// utilization samples, one per control tick.
-type telemetryBatch struct {
-	samples [][]float64
+// flatBatch is one accepted ingest unit: consecutive per-server
+// utilization samples in one flat sample-major buffer (sample i's
+// servers at u[i*servers : (i+1)*servers]). Flat storage is what lets
+// the binary wire path land telemetry in a single pooled allocation per
+// record, and the worker step straight through it without per-sample
+// slice headers.
+type flatBatch struct {
+	u       []float64
+	samples int
 }
 
+// flatPool recycles batch buffers between ingest and the session
+// workers: at fleet rates the queue would otherwise churn one
+// allocation per POST through the garbage collector.
+var flatPool sync.Pool
+
+// getFlat returns a buffer with len n, reusing a pooled one when its
+// capacity suffices.
+func getFlat(n int) []float64 {
+	if p, _ := flatPool.Get().(*[]float64); p != nil {
+		if u := *p; cap(u) >= n {
+			return u[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// putFlat recycles a batch buffer after its samples are processed.
+func putFlat(u []float64) {
+	if cap(u) == 0 {
+		return
+	}
+	u = u[:0]
+	flatPool.Put(&u)
+}
+
+// Session scheduling states. A session is an actor: it owns engine
+// state that exactly one goroutine may touch at a time, but it has no
+// goroutine of its own — shard workers claim it through this state
+// machine whenever it has work, so 100k idle sessions cost memory, not
+// scheduler load.
+const (
+	stateIdle      int32 = iota // no work pending, not queued
+	stateScheduled              // in its shard's run queue
+	stateRunning                // claimed by an executor
+)
+
+// maxSliceBatches bounds how many queued batches one scheduling slice
+// processes before the session is requeued, so a firehosed session
+// cannot monopolize a shard worker.
+const maxSliceBatches = 8
+
+// maxCoastDebt caps how many wall-clock coast ticks can accumulate
+// while a session waits for a worker; beyond this the session is
+// falling behind real time and extra debt is dropped, exactly as a
+// time.Ticker drops missed ticks.
+const maxCoastDebt = 64
+
 // sessionMetrics is the cross-goroutine snapshot of a session's state,
-// refreshed by the session goroutine once per tick and copied out whole
+// refreshed by the executing worker once per tick and copied out whole
 // by scrapers.
 type sessionMetrics struct {
 	Ticks         int64
@@ -51,32 +103,38 @@ type sessionMetrics struct {
 	Anomalies     int64
 	Hist          latencyHist
 
-	// Filled in by metrics() from atomics / channel state.
+	// Filled in by metrics() from atomics / queue state.
 	Accepted   int64
 	Rejected   int64
 	QueueDepth int
 }
 
-// Session is one online PDU control loop: a sim.Stepper owned by a
-// single goroutine, fed from a bounded telemetry queue. All engine
-// state is goroutine-confined; the outside world sees the mutex-guarded
-// snapshot, the event ring and the atomic ingest counters.
+// Session is one online PDU control loop: a sim.Stepper plus a bounded
+// telemetry queue, executed by its shard's worker pool. All engine
+// state is confined to whichever executor holds the state machine's
+// running slot; the outside world sees the mutex-guarded snapshot, the
+// event ring and the atomic ingest counters.
 type Session struct {
 	id     string
 	cfg    SessionConfig
 	scheme sim.Scheme
 	st     *sim.Stepper
+	shard  *shard
 
-	inbox chan telemetryBatch
-	quit  chan struct{}
-	done  chan struct{}
-
-	enqMu    sync.Mutex
+	// Bounded ingest queue: a fixed ring of flatBatch slots guarded by
+	// qmu, plus the pause/stop flags that gate it.
+	qmu      sync.Mutex
+	queue    []flatBatch
+	qhead    int
+	qcount   int
+	paused   bool
 	stopping bool
 
-	resumeCh   chan struct{}
-	resumeOnce sync.Once
-	stopOnce   sync.Once
+	state    atomic.Int32
+	coastDue atomic.Int32
+
+	done       chan struct{}
+	finishOnce sync.Once
 
 	accepted atomic.Int64
 	rejected atomic.Int64
@@ -86,7 +144,7 @@ type Session struct {
 	mu   sync.Mutex
 	snap sessionMetrics
 
-	// Session-goroutine state (never touched by other goroutines).
+	// Executor-confined state (touched only while holding stateRunning).
 	meter     *metering.Meter
 	cusum     *metering.CUSUMDetector
 	lastU     []float64
@@ -101,9 +159,10 @@ type Session struct {
 	anomalies int64
 }
 
-// newSession builds and starts a session. cfg must already have
-// defaults applied and be validated.
-func newSession(id string, cfg SessionConfig) (*Session, error) {
+// newSession builds a session and registers it with its shard's
+// coaster when it ticks on wall clock. cfg must already have defaults
+// applied and be validated.
+func newSession(id string, cfg SessionConfig, sh *shard) (*Session, error) {
 	scheme, err := schemes.ByName(cfg.Scheme, schemes.Options{ServersPerRack: cfg.ServersPerRack})
 	if err != nil {
 		return nil, err
@@ -136,16 +195,16 @@ func newSession(id string, cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		id:       id,
-		cfg:      cfg,
-		scheme:   scheme,
-		st:       st,
-		inbox:    make(chan telemetryBatch, cfg.QueueDepth),
-		quit:     make(chan struct{}),
-		done:     make(chan struct{}),
-		resumeCh: make(chan struct{}),
-		events:   newEventRing(cfg.EventLog),
-		lastU:    make([]float64, st.TotalServers()),
+		id:     id,
+		cfg:    cfg,
+		scheme: scheme,
+		st:     st,
+		shard:  sh,
+		queue:  make([]flatBatch, cfg.QueueDepth),
+		paused: cfg.Paused,
+		done:   make(chan struct{}),
+		events: newEventRing(cfg.EventLog),
+		lastU:  make([]float64, st.TotalServers()),
 	}
 	if cfg.MeterInterval.Duration > 0 {
 		m, err := metering.NewMeter(cfg.MeterInterval.Duration, 0, 1)
@@ -160,7 +219,9 @@ func newSession(id string, cfg SessionConfig) (*Session, error) {
 	s.snap.MeanMicroSOC = -1
 	s.event(EventCreated, fmt.Sprintf("scheme %s, %d servers, tick %v",
 		scheme.Name(), st.TotalServers(), st.Tick()))
-	go s.run()
+	if cfg.WallClock {
+		sh.addWallClock(s)
+	}
 	return s, nil
 }
 
@@ -170,66 +231,244 @@ func (s *Session) ID() string { return s.id }
 // Config returns the session's (defaulted) configuration.
 func (s *Session) Config() SessionConfig { return s.cfg }
 
+// doneClosed reports whether the session has fully stopped.
+func (s *Session) doneClosed() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Enqueue validates a batch of per-server utilization samples and
-// offers it to the bounded ingest queue without blocking. Values are
-// clamped to [0, 1] in place; non-finite values are rejected outright.
-// A full queue returns ErrQueueFull — the 429 signal — and a stopping
-// session returns ErrStopping.
+// offers it to the bounded ingest queue without blocking. Non-finite
+// values are rejected outright; finite values are clamped to [0, 1] as
+// they are copied (the caller's slices are not modified). A full queue
+// returns ErrQueueFull — the 429 signal — and a stopping session
+// returns ErrStopping.
 func (s *Session) Enqueue(samples [][]float64) error {
 	want := s.st.TotalServers()
+	flat := getFlat(len(samples) * want)
 	for i, u := range samples {
 		if len(u) != want {
+			putFlat(flat)
 			return fmt.Errorf("padd: sample %d has %d entries for %d servers", i, len(u), want)
 		}
+		row := flat[i*want : (i+1)*want]
 		for j, v := range u {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
+				putFlat(flat)
 				return fmt.Errorf("padd: sample %d server %d: non-finite utilization", i, j)
 			}
 			if v < 0 {
-				u[j] = 0
+				v = 0
 			} else if v > 1 {
-				u[j] = 1
+				v = 1
 			}
+			row[j] = v
 		}
 	}
-	s.enqMu.Lock()
-	defer s.enqMu.Unlock()
+	if err := s.EnqueueFlat(flat, len(samples)); err != nil {
+		putFlat(flat)
+		return err
+	}
+	return nil
+}
+
+// EnqueueFlat offers an already-validated flat sample-major batch to
+// the bounded queue, taking ownership of u on success (it is recycled
+// through the batch pool once processed). The binary wire path lands
+// here: wire.Record.FloatsInto has applied the same finite/clamp rules
+// Enqueue applies, so the two ingest formats feed the engine
+// identically.
+func (s *Session) EnqueueFlat(u []float64, samples int) error {
+	if samples <= 0 || len(u) != samples*s.st.TotalServers() {
+		return fmt.Errorf("padd: flat batch of %d values is not %d samples × %d servers",
+			len(u), samples, s.st.TotalServers())
+	}
+	s.qmu.Lock()
 	if s.stopping {
+		s.qmu.Unlock()
 		return ErrStopping
 	}
-	select {
-	case s.inbox <- telemetryBatch{samples: samples}:
-		s.accepted.Add(int64(len(samples)))
-		return nil
-	default:
+	if s.qcount == len(s.queue) {
+		s.qmu.Unlock()
 		s.rejected.Add(1)
 		return ErrQueueFull
 	}
+	s.queue[(s.qhead+s.qcount)%len(s.queue)] = flatBatch{u: u, samples: samples}
+	s.qcount++
+	s.qmu.Unlock()
+	s.accepted.Add(int64(samples))
+	s.schedule()
+	return nil
+}
+
+// queueLen reports the current ingest queue depth.
+func (s *Session) queueLen() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.qcount
+}
+
+// pop takes the oldest queued batch. Paused sessions hold their queue
+// until Resume — unless they are stopping, when the lossless-drain
+// invariant wins over the pause.
+func (s *Session) pop() (flatBatch, bool) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.qcount == 0 || (s.paused && !s.stopping) {
+		return flatBatch{}, false
+	}
+	b := s.queue[s.qhead]
+	s.queue[s.qhead] = flatBatch{}
+	s.qhead = (s.qhead + 1) % len(s.queue)
+	s.qcount--
+	return b, true
+}
+
+// schedule queues the session onto its shard's run queue if it is not
+// already queued or running. The idle→scheduled CAS guarantees at most
+// one outstanding run-queue entry per session.
+func (s *Session) schedule() {
+	if s.state.CompareAndSwap(stateIdle, stateScheduled) {
+		s.shard.submit(s)
+	}
+}
+
+// coastTick records one wall-clock tick owed by a late session (called
+// by the shard coaster). Debt beyond maxCoastDebt is dropped, like a
+// ticker dropping missed ticks.
+func (s *Session) coastTick() {
+	if s.coastDue.Load() < maxCoastDebt {
+		s.coastDue.Add(1)
+	}
+	s.schedule()
+}
+
+// runOnce is one worker execution: claim the session, run a bounded
+// slice of its work, then requeue it if work remains. The
+// scheduled→running CAS makes stale run-queue entries harmless — if
+// Stop's inline drain claimed the session first, this is a no-op.
+func (s *Session) runOnce() {
+	if !s.state.CompareAndSwap(stateScheduled, stateRunning) {
+		return
+	}
+	s.runSlice()
+	s.state.Store(stateIdle)
+	if s.pendingWork() {
+		s.schedule()
+	}
+}
+
+// runSlice does up to maxSliceBatches of queued telemetry, or the
+// accumulated coast debt when there is none, then finalizes the session
+// if it is stopping with an empty queue. Called only while holding the
+// running slot.
+func (s *Session) runSlice() {
+	if s.doneClosed() {
+		return
+	}
+	coasts := s.coastDue.Swap(0)
+	processed := 0
+	for processed < maxSliceBatches {
+		b, ok := s.pop()
+		if !ok {
+			break
+		}
+		s.processFlat(b)
+		processed++
+	}
+	if processed == 0 && coasts > 0 {
+		// Telemetry waiting takes priority over coasting; a tick that
+		// found telemetry forgets its coast, like the ticker path did.
+		s.qmu.Lock()
+		skip := s.paused || s.stopping
+		s.qmu.Unlock()
+		if !skip {
+			for i := int32(0); i < coasts; i++ {
+				s.coast()
+			}
+		}
+	}
+	s.qmu.Lock()
+	finalize := s.stopping && s.qcount == 0
+	s.qmu.Unlock()
+	if finalize {
+		s.finishOnce.Do(func() { close(s.done) })
+	}
+}
+
+// pendingWork reports whether the session still needs an executor.
+func (s *Session) pendingWork() bool {
+	if s.doneClosed() {
+		return false
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.stopping {
+		return true // drain and finalize
+	}
+	if s.paused {
+		return false
+	}
+	return s.qcount > 0 || s.coastDue.Load() > 0
 }
 
 // Resume releases a session created with Paused. Idempotent; a no-op
 // for sessions that were never paused.
 func (s *Session) Resume() {
-	s.resumeOnce.Do(func() { close(s.resumeCh) })
+	s.qmu.Lock()
+	was := s.paused
+	s.paused = false
+	s.qmu.Unlock()
+	if was && s.cfg.WallClock {
+		s.shard.resetWallClock(s)
+	}
+	s.schedule()
 }
 
-// Stop drains the queued telemetry, stops the control goroutine and
-// waits for it to exit. Idempotent; safe to call concurrently.
-func (s *Session) Stop() {
-	s.enqMu.Lock()
+// beginStop flags the session for draining and makes sure an executor
+// will get to it, without waiting.
+func (s *Session) beginStop() {
+	s.qmu.Lock()
 	s.stopping = true
-	s.enqMu.Unlock()
-	s.stopOnce.Do(func() { close(s.quit) })
-	<-s.done
+	s.qmu.Unlock()
+	s.schedule()
+}
+
+// Stop drains the queued telemetry, finalizes the session and waits
+// for it. Idempotent; safe to call concurrently. Normally a shard
+// worker performs the drain; if none claims the session (the pool is
+// saturated or already torn down), Stop claims the actor itself and
+// drains inline, so Stop never depends on pool liveness.
+func (s *Session) Stop() {
+	s.beginStop()
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			if s.state.CompareAndSwap(stateScheduled, stateRunning) ||
+				s.state.CompareAndSwap(stateIdle, stateRunning) {
+				for !s.doneClosed() {
+					s.runSlice()
+				}
+				s.state.Store(stateIdle)
+				return
+			}
+		}
+	}
 }
 
 // Result finalizes and returns the run result so far. It must only be
-// called after Stop — the stepper is goroutine-confined while the
+// called after Stop — the stepper is executor-confined while the
 // session runs.
 func (s *Session) Result() *sim.Result {
-	select {
-	case <-s.done:
-	default:
+	if !s.doneClosed() {
 		panic("padd: Session.Result before Stop")
 	}
 	return s.st.Result()
@@ -246,74 +485,29 @@ func (s *Session) metrics() sessionMetrics {
 	s.mu.Unlock()
 	sm.Accepted = s.accepted.Load()
 	sm.Rejected = s.rejected.Load()
-	sm.QueueDepth = len(s.inbox)
+	s.qmu.Lock()
+	sm.QueueDepth = s.qcount
+	s.qmu.Unlock()
 	return sm
 }
 
-// run is the session goroutine: the only goroutine that touches the
-// stepper, the scheme, the meter and the event-producing state.
-func (s *Session) run() {
-	defer close(s.done)
-	var tickC <-chan time.Time
-	if s.cfg.WallClock {
-		t := time.NewTicker(s.st.Tick())
-		defer t.Stop()
-		tickC = t.C
-	}
-	if s.cfg.Paused {
-		select {
-		case <-s.resumeCh:
-		case <-s.quit:
-			s.drain()
-			return
-		}
-	}
-	for {
-		select {
-		case <-s.quit:
-			s.drain()
-			return
-		case b := <-s.inbox:
-			s.process(b)
-		case <-tickC:
-			// Telemetry waiting takes priority; with none, coast one
-			// tick on the last known demand so batteries, breakers and
-			// the security policy keep tracking real time.
-			select {
-			case b := <-s.inbox:
-				s.process(b)
-			default:
-				s.coast()
-			}
-		}
-	}
-}
-
-// drain processes everything already accepted into the queue, so no
-// acknowledged telemetry is lost on shutdown.
-func (s *Session) drain() {
-	for {
-		select {
-		case b := <-s.inbox:
-			s.process(b)
-		default:
-			return
-		}
-	}
-}
-
-func (s *Session) process(b telemetryBatch) {
-	for i, u := range b.samples {
+// processFlat steps the engine through one batch, then recycles its
+// buffer.
+func (s *Session) processFlat(b flatBatch) {
+	servers := s.st.TotalServers()
+	for i := 0; i < b.samples; i++ {
 		if s.st.Done() {
-			s.discarded += int64(len(b.samples) - i)
+			s.discarded += int64(b.samples - i)
 			s.publish(0)
-			return
+			break
 		}
+		u := b.u[i*servers : (i+1)*servers]
 		copy(s.lastU, u)
 		s.haveU = true
 		s.coasting = false
 		s.step(u)
 	}
+	putFlat(b.u)
 }
 
 // coast advances one tick on the last known demand (idle until the

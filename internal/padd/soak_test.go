@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/padd"
+	"repro/internal/padd/wire"
 )
 
 // soakClient wraps the test server with typed helpers.
@@ -176,6 +177,277 @@ func TestSoakConcurrentSessions(t *testing.T) {
 	}
 	if code, _ := c.post("/v1/sessions", padd.SessionConfig{}); code != http.StatusServiceUnavailable {
 		t.Errorf("create after shutdown: HTTP %d, want 503", code)
+	}
+}
+
+// TestSoakFleet10k is the fleet soak: 10,000 resident sessions on one
+// manager, fed through BOTH ingest paths at once — half the fleet gets
+// per-session JSON POSTs, half gets batched binary frames carrying 64
+// sessions per POST — then a bounded concurrent Shutdown drains every
+// shard. The lossless-ingest invariant must hold on all 10k sessions.
+// Run under -race this is also the concurrency proof for the sharded
+// actor model: ingest, worker slices and shutdown all overlap.
+func TestSoakFleet10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet soak skipped in -short")
+	}
+	const (
+		nSessions = 10_000
+		racks     = 1
+		spr       = 2
+		servers   = racks * spr
+		samples   = 4 // per session
+		perFrame  = 64
+	)
+	mgr := padd.NewManagerWith(padd.Options{MaxSessions: nSessions})
+	srv := httptest.NewServer(padd.NewServer(mgr))
+	defer srv.Close()
+	c := &soakClient{t: t, base: srv.URL}
+
+	schemesCycle := []string{"Conv", "PS", "PSPC", "uDEB", "vDEB", "PAD"}
+	ids := make([]string, nSessions)
+	// Create directly through the manager — the soak exercises ingest
+	// and drain at fleet count; 10k HTTP creates would just slow -race.
+	for i := range ids {
+		ids[i] = fmt.Sprintf("fleet-%05d", i)
+		_, err := mgr.Create(padd.SessionConfig{
+			ID:             ids[i],
+			Scheme:         schemesCycle[i%len(schemesCycle)],
+			Racks:          racks,
+			ServersPerRack: spr,
+		})
+		if err != nil {
+			t.Fatalf("create %s: %v", ids[i], err)
+		}
+	}
+
+	u := make([]float64, servers)
+	for j := range u {
+		u[j] = 0.5
+	}
+	flat := make([]float64, samples*servers)
+	for j := range flat {
+		flat[j] = 0.5
+	}
+
+	// Half the fleet over JSON, sharded across a few posting goroutines.
+	var wg sync.WaitGroup
+	jsonN := nSessions / 2
+	const posters = 8
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			req := batchOf(servers, samples, 0.5)
+			for i := p; i < jsonN; i += posters {
+				for {
+					code, body := c.post("/v1/sessions/"+ids[i]+"/telemetry", req)
+					if code == http.StatusAccepted {
+						break
+					}
+					if code != http.StatusTooManyRequests {
+						t.Errorf("%s: HTTP %d: %s", ids[i], code, body)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(p)
+	}
+	// The other half over binary frames, 64 sessions per POST.
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var enc wire.Encoder
+			for lo := jsonN + p*perFrame; lo < nSessions; lo += posters * perFrame {
+				hi := lo + perFrame
+				if hi > nSessions {
+					hi = nSessions
+				}
+				pending := ids[lo:hi]
+				for len(pending) > 0 {
+					enc.Reset()
+					for _, id := range pending {
+						if err := enc.AppendFlat(id, samples, servers, flat); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					resp, err := http.Post(c.base+"/v1/ingest", "application/octet-stream",
+						bytes.NewReader(enc.Frame()))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var ir padd.IngestResponse
+					err = json.NewDecoder(resp.Body).Decode(&ir)
+					resp.Body.Close()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusTooManyRequests {
+						t.Errorf("ingest frame [%d,%d): HTTP %d, rejects %v", lo, hi, resp.StatusCode, ir.Rejects)
+						return
+					}
+					// Retry exactly the rejected records: a record is either
+					// queued (accepted) or rejected with its id echoed back,
+					// so resending rejects can't double-ingest.
+					next := pending[:0:0]
+					for _, rej := range ir.Rejects {
+						next = append(next, rej.ID)
+					}
+					pending = next
+					if len(pending) > 0 {
+						time.Sleep(time.Millisecond)
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	for _, s := range mgr.List() {
+		st := s.Status()
+		if st.Accepted != samples {
+			t.Errorf("%s: accepted %d samples, want %d", st.ID, st.Accepted, samples)
+		}
+		if st.Ticks != st.Accepted+st.Coasts-st.Discarded {
+			t.Errorf("%s: %d ticks from %d accepted (%d coasts, %d discarded)",
+				st.ID, st.Ticks, st.Accepted, st.Coasts, st.Discarded)
+		}
+		if st.QueueDepth != 0 {
+			t.Errorf("%s: %d batches left after drain", st.ID, st.QueueDepth)
+		}
+	}
+
+	// The scrape must carry the fleet families with both formats counted.
+	code, body := c.get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"padd_shard_sessions{shard=\"0\"}",
+		"padd_ingest_frames_total{format=\"json\"}",
+		"padd_ingest_frames_total{format=\"binary\"}",
+		"padd_ingest_batch_size_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestMaxSessions pins the -max-sessions contract: creates past the cap
+// get 503 with Retry-After, and deleting a session frees its slot.
+func TestMaxSessions(t *testing.T) {
+	mgr := padd.NewManagerWith(padd.Options{Shards: 2, MaxSessions: 2})
+	defer mgr.Shutdown(context.Background())
+	srv := httptest.NewServer(padd.NewServer(mgr))
+	defer srv.Close()
+	c := &soakClient{t: t, base: srv.URL}
+
+	for i := 0; i < 2; i++ {
+		cfg := padd.SessionConfig{ID: fmt.Sprintf("cap-%d", i), Scheme: "PAD", Racks: 1, ServersPerRack: 2}
+		if code, body := c.post("/v1/sessions", cfg); code != http.StatusCreated {
+			t.Fatalf("create %d: HTTP %d: %s", i, code, body)
+		}
+	}
+	resp, err := http.Post(c.base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"id":"cap-2","scheme":"PAD","racks":1,"servers_per_rack":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create past cap: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 past cap without Retry-After header")
+	}
+
+	delReq, _ := http.NewRequest(http.MethodDelete, c.base+"/v1/sessions/cap-0", nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, delResp.Body)
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: HTTP %d", delResp.StatusCode)
+	}
+	cfg := padd.SessionConfig{ID: "cap-2", Scheme: "PAD", Racks: 1, ServersPerRack: 2}
+	if code, body := c.post("/v1/sessions", cfg); code != http.StatusCreated {
+		t.Fatalf("create after delete: HTTP %d: %s", code, body)
+	}
+}
+
+// TestBinaryIngestErrors pins the batched endpoint's error envelope:
+// malformed frames are 400s, unknown sessions reject per record while
+// the rest of the frame lands, and a frame rejected entirely for
+// backpressure is a 429.
+func TestBinaryIngestErrors(t *testing.T) {
+	mgr := padd.NewManager()
+	defer mgr.Shutdown(context.Background())
+	srv := httptest.NewServer(padd.NewServer(mgr))
+	defer srv.Close()
+	c := &soakClient{t: t, base: srv.URL}
+
+	cfg := padd.SessionConfig{ID: "bin", Scheme: "PAD", Racks: 1, ServersPerRack: 2, QueueDepth: 1, Paused: true}
+	if code, body := c.post("/v1/sessions", cfg); code != http.StatusCreated {
+		t.Fatalf("create: HTTP %d: %s", code, body)
+	}
+
+	postFrame := func(frame []byte) (int, padd.IngestResponse) {
+		t.Helper()
+		resp, err := http.Post(c.base+"/v1/ingest", "application/octet-stream", bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ir padd.IngestResponse
+		json.NewDecoder(resp.Body).Decode(&ir)
+		return resp.StatusCode, ir
+	}
+
+	if code, _ := postFrame([]byte("not a frame")); code != http.StatusBadRequest {
+		t.Errorf("garbage frame: HTTP %d, want 400", code)
+	}
+
+	var enc wire.Encoder
+	enc.AppendFlat("bin", 1, 2, []float64{0.5, 0.5})
+	enc.AppendFlat("ghost", 1, 2, []float64{0.5, 0.5})
+	code, ir := postFrame(enc.Frame())
+	if code != http.StatusAccepted || ir.Accepted != 1 || len(ir.Rejects) != 1 || ir.Rejects[0].ID != "ghost" {
+		t.Errorf("mixed frame: HTTP %d, resp %+v", code, ir)
+	}
+
+	// The queue (depth 1, paused) is now full: an all-backpressure frame
+	// must map to 429.
+	enc.Reset()
+	enc.AppendFlat("bin", 1, 2, []float64{0.5, 0.5})
+	if code, ir = postFrame(enc.Frame()); code != http.StatusTooManyRequests {
+		t.Errorf("full-queue frame: HTTP %d (resp %+v), want 429", code, ir)
+	}
+
+	// A record whose shape doesn't match the session is a per-record
+	// reject with a 400 envelope when nothing else lands.
+	enc.Reset()
+	enc.AppendFlat("bin", 1, 5, []float64{0.5, 0.5, 0.5, 0.5, 0.5})
+	if code, ir = postFrame(enc.Frame()); code != http.StatusBadRequest || len(ir.Rejects) != 1 {
+		t.Errorf("wrong-shape frame: HTTP %d, resp %+v, want 400 with one reject", code, ir)
 	}
 }
 

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// benchFrame builds a fleet-shaped frame: 64 sessions × 16 ticks × 8
+// servers = 8192 samples (65536 values) per frame.
+func benchFrame(b *testing.B) []byte {
+	b.Helper()
+	const (
+		records = 64
+		samples = 16
+		servers = 8
+	)
+	u := make([]float64, samples*servers)
+	for i := range u {
+		u[i] = float64(i%100) / 100
+	}
+	var e Encoder
+	for r := 0; r < records; r++ {
+		if err := e.AppendFlat(fmt.Sprintf("load-%04d", r), samples, servers, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return append([]byte(nil), e.Frame()...)
+}
+
+// BenchmarkWireDecode is the CI-gated decode path: one frame fully
+// decoded and converted, reusing the decoder, record and float buffer.
+// It must report exactly 0 allocs/op — the fleet ingest path decodes
+// millions of samples per second and may not touch the garbage
+// collector to do it.
+func BenchmarkWireDecode(b *testing.B) {
+	frame := benchFrame(b)
+	var (
+		d       Decoder
+		rec     Record
+		scratch []float64
+	)
+	samples := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Reset(frame); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			err := d.Next(&rec)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			u, err := rec.FloatsInto(scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scratch = u
+			samples += rec.Samples
+		}
+	}
+	b.StopTimer()
+	if samples == 0 {
+		b.Fatal("decoded nothing")
+	}
+	b.ReportMetric(float64(samples)/float64(b.N), "samples/op")
+}
+
+// BenchmarkWireEncode builds the same frame each iteration, reusing the
+// encoder's buffer.
+func BenchmarkWireEncode(b *testing.B) {
+	const (
+		records = 64
+		samples = 16
+		servers = 8
+	)
+	u := make([]float64, samples*servers)
+	for i := range u {
+		u[i] = float64(i%100) / 100
+	}
+	ids := make([]string, records)
+	for r := range ids {
+		ids[r] = fmt.Sprintf("load-%04d", r)
+	}
+	var e Encoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		for _, id := range ids {
+			if err := e.AppendFlat(id, samples, servers, u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if f := e.Frame(); len(f) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
