@@ -1,13 +1,14 @@
 // Command padload is the fleet load generator for padd: it creates a
 // configurable number of sessions against a live daemon and drives each
-// at a target samples/sec over either ingest path — per-session JSON
-// POSTs or batched binary wire frames — while recording POST round-trip
-// latencies in a histogram.
+// at a target samples/sec over any ingest path — per-session JSON
+// POSTs, batched binary wire frames, or persistent binary-acked stream
+// connections (one per worker) — while recording round-trip latencies
+// (POST or send→ack) in a histogram.
 //
 // Usage:
 //
 //	padd -addr :8484 &
-//	padload -addr http://localhost:8484 -sessions 1000 -rate 10 -duration 5s -mode binary
+//	padload -addr http://localhost:8484 -sessions 1000 -rate 10 -duration 5s -mode stream
 //
 // A ramp profile (-ramp 30s) spreads session creation linearly across
 // the window instead of front-loading it, which is how fleet churn is
@@ -42,7 +43,7 @@ func main() {
 		sessions = flag.Int("sessions", 1000, "sessions to create and drive")
 		rate     = flag.Float64("rate", 10, "samples per second per session")
 		duration = flag.Duration("duration", 10*time.Second, "drive phase length")
-		mode     = flag.String("mode", "binary", "ingest path: binary (batched wire frames) or json (per-session POSTs)")
+		mode     = flag.String("mode", "binary", "ingest path: binary (batched wire frames), json (per-session POSTs) or stream (persistent connections with binary acks)")
 		batch    = flag.Int("batch", 10, "samples per session per send")
 		perFrame = flag.Int("frame-sessions", 64, "sessions batched into one binary frame")
 		ramp     = flag.Duration("ramp", 0, "spread session creation over this window (0 = create as fast as possible)")
@@ -61,8 +62,8 @@ func main() {
 		fmt.Println("padload", version.String())
 		return
 	}
-	if *mode != "binary" && *mode != "json" {
-		fatal(fmt.Errorf("padload: -mode %q: want binary or json", *mode))
+	if *mode != padd.ModeBinary && *mode != padd.ModeJSON && *mode != padd.ModeStream {
+		fatal(fmt.Errorf("padload: -mode %q: want binary, json or stream", *mode))
 	}
 	if *sessions < 1 || *batch < 1 || *perFrame < 1 || *workers < 1 || *rate <= 0 {
 		fatal(fmt.Errorf("padload: -sessions, -batch, -frame-sessions, -workers must be >= 1 and -rate > 0"))
@@ -70,7 +71,7 @@ func main() {
 
 	lg := &loadgen{
 		base:     strings.TrimRight(*addr, "/"),
-		binary:   *mode == "binary",
+		mode:     *mode,
 		batch:    *batch,
 		perFrame: *perFrame,
 		servers:  *racks * *spr,
@@ -134,7 +135,7 @@ func fatal(err error) {
 
 type loadgen struct {
 	base     string
-	binary   bool
+	mode     string
 	batch    int
 	perFrame int
 	servers  int
@@ -225,13 +226,43 @@ func (lg *loadgen) drive(ids []string, rounds int, interval time.Duration, worke
 			flat := make([]float64, lg.batch*lg.servers)
 			var enc wire.Encoder
 			var jsonBody []byte
+			// Stream mode: one persistent connection per worker for the
+			// whole drive phase — that is the point of the protocol.
+			var sc *padd.StreamClient
+			if lg.mode == padd.ModeStream {
+				var err error
+				if sc, err = padd.DialStream(lg.base); err != nil {
+					fmt.Fprintf(os.Stderr, "padload: stream dial: %v\n", err)
+					lg.errors.Add(1)
+					return
+				}
+				defer sc.Close()
+			}
 			for r := 0; r < rounds; r++ {
 				// Pace: round r begins at start + r*interval.
 				if d := time.Until(start.Add(time.Duration(r) * interval)); d > 0 {
 					time.Sleep(d)
 				}
 				lg.fill(flat, w, r)
-				if lg.binary {
+				switch lg.mode {
+				case padd.ModeStream:
+					for lo := 0; lo < len(ids); lo += lg.perFrame {
+						hi := lo + lg.perFrame
+						if hi > len(ids) {
+							hi = len(ids)
+						}
+						enc.Reset()
+						for _, id := range ids[lo:hi] {
+							if err := enc.AppendFlat(id, lg.batch, lg.servers, flat); err != nil {
+								lg.errors.Add(1)
+								return
+							}
+						}
+						if !lg.streamSend(sc, &enc, flat) {
+							return
+						}
+					}
+				case padd.ModeBinary:
 					for lo := 0; lo < len(ids); lo += lg.perFrame {
 						hi := lo + lg.perFrame
 						if hi > len(ids) {
@@ -246,7 +277,7 @@ func (lg *loadgen) drive(ids []string, rounds int, interval time.Duration, worke
 						}
 						lg.send("/v1/ingest", "application/octet-stream", enc.Frame(), (hi-lo)*lg.batch)
 					}
-				} else {
+				default:
 					var req padd.TelemetryRequest
 					for i := 0; i < lg.batch; i++ {
 						req.Samples = append(req.Samples,
@@ -298,6 +329,64 @@ func (lg *loadgen) send(path, contentType string, body []byte, samples int) {
 			fmt.Fprintf(os.Stderr, "padload: %s: HTTP %d: %s\n", path, code, respBody)
 			lg.errors.Add(1)
 			return
+		}
+	}
+}
+
+// streamSend writes the encoded frame on the worker's stream and waits
+// for its binary ack (stop-and-wait keeps the latency histogram honest:
+// each observation is one frame's full send→ack round trip). Samples
+// are counted from the ack's accepted tally, so a partial ack never
+// over-counts; queue-full rejects are re-encoded and retried alone,
+// mirroring the 429 retry on the POST paths. Returns false on a hard
+// failure (connection error or a non-backpressure reject).
+func (lg *loadgen) streamSend(sc *padd.StreamClient, enc *wire.Encoder, flat []float64) bool {
+	var a wire.Ack
+	var retry []string
+	for {
+		t0 := time.Now()
+		if _, err := sc.Send(enc.Frame()); err != nil {
+			fmt.Fprintf(os.Stderr, "padload: stream send: %v\n", err)
+			lg.errors.Add(1)
+			return false
+		}
+		if err := sc.ReadAck(&a); err != nil {
+			fmt.Fprintf(os.Stderr, "padload: stream ack: %v\n", err)
+			lg.errors.Add(1)
+			return false
+		}
+		lg.hist.observe(time.Since(t0))
+		lg.posts.Add(1)
+		lg.samples.Add(int64(a.Samples))
+		switch a.Status {
+		case wire.AckOK:
+			return true
+		case wire.AckPartial, wire.AckBackpressure:
+			retry = retry[:0]
+			for _, rej := range a.Rejects {
+				if rej.Reason != wire.RejectQueueFull {
+					fmt.Fprintf(os.Stderr, "padload: stream reject %s: reason %d\n", rej.ID, rej.Reason)
+					lg.errors.Add(1)
+					return false
+				}
+				retry = append(retry, string(rej.ID)) // copy: ID aliases the ack read buffer
+			}
+			if len(retry) == 0 {
+				return true
+			}
+			lg.retries.Add(1)
+			time.Sleep(2 * time.Millisecond)
+			enc.Reset()
+			for _, id := range retry {
+				if err := enc.AppendFlat(id, lg.batch, lg.servers, flat); err != nil {
+					lg.errors.Add(1)
+					return false
+				}
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "padload: stream ack status %s\n", wire.AckStatusName(a.Status))
+			lg.errors.Add(1)
+			return false
 		}
 	}
 }

@@ -1,0 +1,177 @@
+package padd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/padd/wire"
+)
+
+// frameReject is one record a frame ingest could not accept: the binary
+// reject reason, the record's id (aliasing the frame buffer — consume
+// before the buffer is reused), and the error for the JSON envelope.
+type frameReject struct {
+	Reason byte
+	ID     []byte
+	Err    error
+}
+
+// frameIngest is the reusable state for routing one wire frame's
+// records into sessions. The HTTP handler and the stream server share
+// it: both paths decode with the same zero-copy decoder, apply the same
+// per-record accept/reject rules, and derive their response (JSON
+// envelope + HTTP status, or binary ack) from the same result, so the
+// two ingest surfaces cannot drift.
+type frameIngest struct {
+	d   wire.Decoder
+	rec wire.Record
+
+	records  int
+	accepted int // accepted records
+	samples  int // accepted samples
+	rejects  []frameReject
+	frameErr error // frame went syntactically bad (header or mid-decode)
+	headerOK bool  // the frame header parsed (frameErr, if set, is mid-decode)
+	allFull  bool  // every rejection was queue backpressure
+	allDrain bool  // every rejection was a stopping session
+
+	ackScratch wire.Ack
+	ackBuf     []byte
+}
+
+// ingestPool recycles frameIngest state across HTTP requests; stream
+// connections hold one for their lifetime instead.
+var ingestPool = sync.Pool{New: func() any { return new(frameIngest) }}
+
+func (fi *frameIngest) reset() {
+	fi.records, fi.accepted, fi.samples = 0, 0, 0
+	fi.rejects = fi.rejects[:0]
+	fi.frameErr = nil
+	fi.headerOK = false
+	fi.allFull, fi.allDrain = true, true
+}
+
+func (fi *frameIngest) reject(id []byte, reason byte, err error) {
+	if !errors.Is(err, ErrQueueFull) {
+		fi.allFull = false
+	}
+	if !errors.Is(err, ErrStopping) {
+		fi.allDrain = false
+	}
+	fi.rejects = append(fi.rejects, frameReject{Reason: reason, ID: id, Err: err})
+}
+
+// ingestFrame routes one wire frame's records into their sessions:
+// decode, shard lookup, payload conversion into a pooled flat buffer,
+// shape check, bounded enqueue. Each record succeeds or fails
+// independently; a frame that goes syntactically bad mid-decode stops
+// there with frameErr set, keeping every record already enqueued (the
+// protocol never un-accepts).
+func (m *Manager) ingestFrame(frame []byte, fi *frameIngest) {
+	fi.reset()
+	if err := fi.d.Reset(frame); err != nil {
+		fi.frameErr = err
+		return
+	}
+	fi.headerOK = true
+	rec := &fi.rec
+	for {
+		err := fi.d.Next(rec)
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			fi.frameErr = err
+			return
+		}
+		fi.records++
+		sess, err := m.lookupBytes(rec.ID)
+		if err != nil {
+			fi.reject(rec.ID, wire.RejectUnknownSession, err)
+			continue
+		}
+		flat, err := rec.FloatsInto(getFlat(rec.Values()))
+		if err != nil {
+			putFlat(flat)
+			fi.reject(rec.ID, wire.RejectNonFinite, err)
+			continue
+		}
+		if want := sess.st.TotalServers(); rec.Servers != want {
+			putFlat(flat)
+			fi.reject(rec.ID, wire.RejectShape,
+				fmt.Errorf("padd: record has %d servers, session has %d", rec.Servers, want))
+			continue
+		}
+		if err := sess.EnqueueFlat(flat, rec.Samples); err != nil {
+			putFlat(flat)
+			reason := byte(wire.RejectOther)
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				reason = wire.RejectQueueFull
+			case errors.Is(err, ErrStopping):
+				reason = wire.RejectStopping
+			}
+			fi.reject(rec.ID, reason, err)
+			continue
+		}
+		fi.accepted++
+		fi.samples += rec.Samples
+		m.noteIngest(rec.Samples)
+	}
+}
+
+// httpStatus preserves the POST /v1/ingest envelope contract: 202 when
+// anything was accepted (or the frame was empty), 429 when everything
+// rejected was backpressure, 503 when everything rejected was draining,
+// 400 otherwise.
+func (fi *frameIngest) httpStatus() int {
+	switch {
+	case fi.accepted > 0 || fi.records == 0:
+		return http.StatusAccepted
+	case fi.allFull:
+		return http.StatusTooManyRequests
+	case fi.allDrain:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// ackStatus maps the result onto the binary ack statuses, mirroring
+// httpStatus (AckBackpressure ≈ 429, AckDraining ≈ 503).
+func (fi *frameIngest) ackStatus() byte {
+	switch {
+	case fi.frameErr != nil:
+		return wire.AckMalformed
+	case len(fi.rejects) == 0:
+		return wire.AckOK
+	case fi.accepted > 0:
+		return wire.AckPartial
+	case fi.allFull:
+		return wire.AckBackpressure
+	case fi.allDrain:
+		return wire.AckDraining
+	default:
+		return wire.AckPartial
+	}
+}
+
+// appendAck encodes the result as one binary ack frame into dst,
+// reusing the frameIngest's scratch Ack so steady-state acking does not
+// allocate. The reject IDs alias the ingested frame's buffer; the ack
+// must be encoded before that buffer is reused.
+func (fi *frameIngest) appendAck(dst []byte, seq uint64) []byte {
+	a := &fi.ackScratch
+	a.Seq = seq
+	a.Status = fi.ackStatus()
+	a.Records = uint32(fi.accepted)
+	a.Samples = uint32(fi.samples)
+	a.Rejects = a.Rejects[:0]
+	for i := range fi.rejects {
+		a.Rejects = append(a.Rejects, wire.AckReject{Reason: fi.rejects[i].Reason, ID: fi.rejects[i].ID})
+	}
+	return wire.AppendAck(dst, a)
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -59,6 +61,14 @@ type Manager struct {
 	framesJSON   atomic.Int64
 	framesBinary atomic.Int64
 	batchSizes   batchHist
+
+	// Persistent-stream state: live connections (closed on Shutdown),
+	// frames acked but not yet written (the in-flight window gauge) and
+	// per-ack-status frame counters.
+	streamMu       sync.Mutex
+	streamConns    map[io.Closer]struct{}
+	streamInflight atomic.Int64
+	streamFrames   [numAckStatuses]atomic.Int64
 }
 
 // NewManager creates a session manager with default fleet sizing.
@@ -234,6 +244,10 @@ func (m *Manager) Healthy() bool { return !m.closed.Load() }
 // pools are left running so an external retry can finish the drain.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.closed.Store(true)
+	// Hang up the stream connections first: acked frames are already
+	// enqueued (and will drain below); unacked frames are the client's
+	// to resend after reconnecting, exactly as on any dropped link.
+	m.closeStreams()
 
 	var ss []*Session
 	for _, sh := range m.shards {

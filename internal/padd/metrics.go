@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/padd/wire"
 )
 
 // latencyBounds are the tick-latency histogram bucket upper bounds in
@@ -85,27 +86,46 @@ func (m *Manager) noteFrame(binary bool) {
 	}
 }
 
+// numAckStatuses sizes the per-result stream frame counters
+// (wire.AckOK through wire.AckMalformed).
+const numAckStatuses = wire.AckMalformed + 1
+
+// noteStreamFrame counts one stream data frame by its ack status.
+func (m *Manager) noteStreamFrame(status byte) {
+	if int(status) < len(m.streamFrames) {
+		m.streamFrames[status].Add(1)
+	}
+}
+
 // fleetMetrics is the manager-level scrape snapshot.
 type fleetMetrics struct {
-	ShardSessions []int
-	FramesJSON    int64
-	FramesBinary  int64
-	BatchCounts   [numBatchBounds + 1]uint64
-	BatchSum      float64
-	BatchTotal    uint64
+	ShardSessions  []int
+	FramesJSON     int64
+	FramesBinary   int64
+	BatchCounts    [numBatchBounds + 1]uint64
+	BatchSum       float64
+	BatchTotal     uint64
+	StreamConns    int
+	StreamInflight int64
+	StreamFrames   [numAckStatuses]int64
 }
 
 func (m *Manager) fleetMetrics() fleetMetrics {
 	fm := fleetMetrics{
-		ShardSessions: m.ShardSessions(),
-		FramesJSON:    m.framesJSON.Load(),
-		FramesBinary:  m.framesBinary.Load(),
+		ShardSessions:  m.ShardSessions(),
+		FramesJSON:     m.framesJSON.Load(),
+		FramesBinary:   m.framesBinary.Load(),
+		StreamConns:    m.StreamConnections(),
+		StreamInflight: m.streamInflight.Load(),
 	}
 	for i := range fm.BatchCounts {
 		fm.BatchCounts[i] = m.batchSizes.counts[i].Load()
 	}
 	fm.BatchSum = float64(m.batchSizes.sum.Load())
 	fm.BatchTotal = m.batchSizes.total.Load()
+	for i := range fm.StreamFrames {
+		fm.StreamFrames[i] = m.streamFrames[i].Load()
+	}
 	return fm
 }
 
@@ -147,6 +167,14 @@ func writeSessionMetrics(w io.Writer, fm fleetMetrics, rows []metricsRow) {
 	frames.Set("binary", float64(fm.FramesBinary))
 	reg.Histogram("padd_ingest_batch_size", "Samples per accepted ingest batch.", "", batchBounds[:]).
 		SetHistogram("", fm.BatchCounts[:], fm.BatchSum, fm.BatchTotal)
+	reg.Gauge("padd_stream_connections", "Live persistent ingest stream connections.", "").
+		Set("", float64(fm.StreamConns))
+	streamFrames := reg.Counter("padd_stream_frames_total", "Stream data frames by ack result.", "result")
+	for status := 0; status < numAckStatuses; status++ {
+		streamFrames.Set(wire.AckStatusName(byte(status)), float64(fm.StreamFrames[status]))
+	}
+	reg.Gauge("padd_stream_inflight_window", "Stream frames ingested but not yet acked (in-flight window occupancy).", "").
+		Set("", float64(fm.StreamInflight))
 
 	gauge := func(name, help string) *obs.Family { return reg.Gauge(name, help, "session") }
 	counter := func(name, help string) *obs.Family { return reg.Counter(name, help, "session") }

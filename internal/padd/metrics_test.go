@@ -59,13 +59,16 @@ func goldenRows() []metricsRow {
 }
 
 // goldenFleet is the matching deterministic manager-level snapshot:
-// two shards, both ingest formats exercised, and a hand-set batch-size
-// histogram.
+// two shards, both POST ingest formats exercised, a hand-set batch-size
+// histogram, and a live stream with every ack result represented.
 func goldenFleet() fleetMetrics {
 	fm := fleetMetrics{
-		ShardSessions: []int{1, 1},
-		FramesJSON:    40,
-		FramesBinary:  8,
+		ShardSessions:  []int{1, 1},
+		FramesJSON:     40,
+		FramesBinary:   8,
+		StreamConns:    2,
+		StreamInflight: 3,
+		StreamFrames:   [numAckStatuses]int64{120, 4, 7, 1, 1},
 	}
 	fm.BatchCounts = [numBatchBounds + 1]uint64{5, 3, 10, 20, 8, 1, 0, 0, 0, 0, 1, 0}
 	fm.BatchSum = 4850
@@ -112,6 +115,10 @@ func TestMetricsEmpty(t *testing.T) {
 		"padd_ingest_frames_total{format=\"binary\"} 0\n",
 		"padd_ingest_frames_total{format=\"json\"} 0\n",
 		"# TYPE padd_ingest_batch_size histogram\n",
+		"padd_stream_connections 0\n",
+		"padd_stream_frames_total{result=\"ok\"} 0\n",
+		"padd_stream_frames_total{result=\"backpressure\"} 0\n",
+		"padd_stream_inflight_window 0\n",
 		"padd_ingest_batch_size_count 0\n",
 		"# TYPE padd_session_soc gauge\n",
 		"# TYPE padd_session_ticks_total counter\n",

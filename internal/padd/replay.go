@@ -53,12 +53,33 @@ type ReplayConfig struct {
 	// Binary streams the online pass through the batched binary ingest
 	// endpoint (/v1/ingest) instead of the per-session JSON route. The
 	// two paths must agree bit for bit; -replay proves both.
+	// Superseded by Mode; kept so zero-value callers keep meaning JSON.
 	Binary bool
+	// Mode selects the online ingest path: ModeJSON (per-session JSON
+	// POSTs), ModeBinary (batched wire frames over POST /v1/ingest) or
+	// ModeStream (one persistent /v1/stream connection with binary
+	// acks). Empty falls back to Binary. All three must agree with the
+	// offline engine bit for bit; -replay proves them.
+	Mode string
 	// Log, when set, receives one progress line per scheme.
 	Log io.Writer
 }
 
+// Ingest modes for ReplayConfig.Mode and the load generator.
+const (
+	ModeJSON   = "json"
+	ModeBinary = "binary"
+	ModeStream = "stream"
+)
+
 func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.Mode == "" {
+		if c.Binary {
+			c.Mode = ModeBinary
+		} else {
+			c.Mode = ModeJSON
+		}
+	}
 	if len(c.Schemes) == 0 {
 		c.Schemes = schemes.SchemeNames
 	}
@@ -265,48 +286,55 @@ func runOnline(cfg ReplayConfig, name string, demand [][]float64, mgr *Manager, 
 		return nil, fmt.Errorf("create session: HTTP %d: %s", code, body)
 	}
 
-	var enc wire.Encoder
-	for start := 0; start < len(demand); start += cfg.BatchSize {
-		end := start + cfg.BatchSize
-		if end > len(demand) {
-			end = len(demand)
+	switch cfg.Mode {
+	case ModeStream:
+		if err := streamDemand(base, id, demand, cfg.BatchSize); err != nil {
+			return nil, err
 		}
-		var (
-			url  string
-			body []byte
-			ct   string
-		)
-		if cfg.Binary {
-			enc.Reset()
-			if err := enc.AppendSamples(id, demand[start:end]); err != nil {
-				return nil, err
+	default:
+		var enc wire.Encoder
+		for start := 0; start < len(demand); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(demand) {
+				end = len(demand)
 			}
-			url, body, ct = base+"/v1/ingest", enc.Frame(), "application/octet-stream"
-		} else {
-			var req TelemetryRequest
-			for _, u := range demand[start:end] {
-				req.Samples = append(req.Samples, TelemetrySample{U: u})
+			var (
+				url  string
+				body []byte
+				ct   string
+			)
+			if cfg.Mode == ModeBinary {
+				enc.Reset()
+				if err := enc.AppendSamples(id, demand[start:end]); err != nil {
+					return nil, err
+				}
+				url, body, ct = base+"/v1/ingest", enc.Frame(), "application/octet-stream"
+			} else {
+				var req TelemetryRequest
+				for _, u := range demand[start:end] {
+					req.Samples = append(req.Samples, TelemetrySample{U: u})
+				}
+				b, err := json.Marshal(req)
+				if err != nil {
+					return nil, err
+				}
+				url, body, ct = base+"/v1/sessions/"+id+"/telemetry", b, "application/json"
 			}
-			b, err := json.Marshal(req)
-			if err != nil {
-				return nil, err
+			for {
+				code, respBody, err := post(url, ct, body)
+				if err != nil {
+					return nil, err
+				}
+				if code == http.StatusAccepted {
+					break
+				}
+				if code == http.StatusTooManyRequests {
+					// Bounded queue doing its job; let the session drain.
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				return nil, fmt.Errorf("telemetry: HTTP %d: %s", code, respBody)
 			}
-			url, body, ct = base+"/v1/sessions/"+id+"/telemetry", b, "application/json"
-		}
-		for {
-			code, respBody, err := post(url, ct, body)
-			if err != nil {
-				return nil, err
-			}
-			if code == http.StatusAccepted {
-				break
-			}
-			if code == http.StatusTooManyRequests {
-				// Bounded queue doing its job; let the session drain.
-				time.Sleep(2 * time.Millisecond)
-				continue
-			}
-			return nil, fmt.Errorf("telemetry: HTTP %d: %s", code, respBody)
 		}
 	}
 
@@ -326,6 +354,50 @@ func runOnline(cfg ReplayConfig, name string, demand [][]float64, mgr *Manager, 
 		return nil, err
 	}
 	return sess.Result(), nil
+}
+
+// streamDemand pushes the demand ticks through one persistent stream
+// connection, stop-and-wait: each batch frame is sent and its binary
+// ack awaited, retrying the frame on AckBackpressure exactly as the
+// POST paths retry 429. Any other non-OK ack is a hard error — a
+// replay must be lossless, so a silently dropped record would surface
+// as a physics mismatch anyway; failing here names the real cause.
+func streamDemand(base, id string, demand [][]float64, batch int) error {
+	sc, err := DialStream(base)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	var enc wire.Encoder
+	var a wire.Ack
+	for start := 0; start < len(demand); start += batch {
+		end := start + batch
+		if end > len(demand) {
+			end = len(demand)
+		}
+		enc.Reset()
+		if err := enc.AppendSamples(id, demand[start:end]); err != nil {
+			return err
+		}
+		for {
+			if _, err := sc.Send(enc.Frame()); err != nil {
+				return err
+			}
+			if err := sc.ReadAck(&a); err != nil {
+				return err
+			}
+			if a.Status == wire.AckOK {
+				break
+			}
+			if a.Status == wire.AckBackpressure {
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			return fmt.Errorf("stream telemetry: ack %s (%d rejects)",
+				wire.AckStatusName(a.Status), len(a.Rejects))
+		}
+	}
+	return nil
 }
 
 func postJSON(url string, v any) (int, string, error) {

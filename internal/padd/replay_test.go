@@ -10,21 +10,19 @@ import (
 // TestReplayMatchesOffline is the tentpole acceptance test: streaming
 // the offline engine's closed-loop demand through the daemon's HTTP
 // ingest path must reproduce the offline run — results, recordings and
-// level sequences — bit for bit, for all six schemes, through BOTH the
-// JSON telemetry route and the batched binary ingest route.
+// level sequences — bit for bit, for all six schemes, through ALL
+// THREE ingest paths: per-session JSON POSTs, batched binary POSTs and
+// the persistent binary-acked stream.
 func TestReplayMatchesOffline(t *testing.T) {
-	for _, mode := range []struct {
-		name   string
-		binary bool
-	}{{"json", false}, {"binary", true}} {
-		t.Run(mode.name, func(t *testing.T) {
+	for _, mode := range []string{padd.ModeJSON, padd.ModeBinary, padd.ModeStream} {
+		t.Run(mode, func(t *testing.T) {
 			report, err := padd.Replay(padd.ReplayConfig{
 				// Long enough for the virus's Phase-I charge plus spikes to
 				// trip the conventional scheme, so the comparison covers trip
 				// accounting, not just calm cruising.
 				Duration: 2 * time.Minute,
 				Seed:     42,
-				Binary:   mode.binary,
+				Mode:     mode,
 			})
 			if err != nil {
 				t.Fatal(err)

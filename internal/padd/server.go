@@ -1,17 +1,18 @@
 package padd
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
-
-	"repro/internal/padd/wire"
+	"time"
 )
 
 // maxBodyBytes bounds a request body; a full-scale 220-server batch of
@@ -28,6 +29,8 @@ const maxBodyBytes = 32 << 20
 //	DELETE /v1/sessions/{id}             stop (drain) and remove a session
 //	POST   /v1/sessions/{id}/telemetry   ingest telemetry (202; 429 on full queue)
 //	POST   /v1/ingest                    batched binary ingest (wire frame, many sessions)
+//	POST   /v1/stream                    persistent streaming ingest (connection upgrade)
+//	POST   /v1/sessions/{id}/pause       hold the ingest queue until resume
 //	POST   /v1/sessions/{id}/resume      release a paused session
 //	GET    /v1/sessions/{id}/events      ring-buffered action log (?since=N)
 type Server struct {
@@ -46,6 +49,8 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/telemetry", s.handleTelemetry)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/pause", s.handlePause)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/resume", s.handleResume)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
 	return s
@@ -300,6 +305,12 @@ type IngestResponse struct {
 	Rejects  []IngestReject `json:"rejects,omitempty"`
 }
 
+// AckContentType is the binary ack/reject response encoding for the
+// batched ingest endpoint; clients opt in with "Accept:
+// application/x-pad-wire" and get one wire ack frame instead of a JSON
+// body, shaving the response-marshal allocations off the hot path.
+const AckContentType = "application/x-pad-wire"
+
 // handleIngest is the fleet ingest path: one wire frame carrying
 // telemetry for many sessions in a single POST. Records are routed,
 // validated and enqueued independently — a full queue on one session
@@ -310,80 +321,107 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	buf := bodyPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer bodyPool.Put(buf)
+	binaryAck := r.Header.Get("Accept") == AckContentType
 	if _, err := io.Copy(buf, http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad frame: %w", err))
 		return
 	}
-	var d wire.Decoder
-	if err := d.Reset(buf.Bytes()); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	fi := ingestPool.Get().(*frameIngest)
+	defer ingestPool.Put(fi)
+	s.mgr.ingestFrame(buf.Bytes(), fi)
+	if fi.headerOK {
+		s.mgr.noteFrame(true)
+	}
+
+	if binaryAck {
+		// One binary ack frame, encoded into the request-scoped scratch
+		// buffer; the HTTP status still carries the envelope verdict.
+		code := fi.httpStatus()
+		if fi.frameErr != nil {
+			code = http.StatusBadRequest
+		}
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		fi.ackBuf = fi.appendAck(fi.ackBuf[:0], 0)
+		w.Header().Set("Content-Type", AckContentType)
+		w.WriteHeader(code)
+		w.Write(fi.ackBuf) //nolint:errcheck // best-effort, like writeJSON
 		return
 	}
-	s.mgr.noteFrame(true)
 
-	var (
-		rec      wire.Record
-		resp     IngestResponse
-		allFull  = true
-		allDrain = true
-	)
-	reject := func(id []byte, err error) {
-		if !errors.Is(err, ErrQueueFull) {
-			allFull = false
-		}
-		if !errors.Is(err, ErrStopping) {
-			allDrain = false
-		}
-		resp.Rejects = append(resp.Rejects, IngestReject{ID: string(id), Error: err.Error()})
+	if fi.frameErr != nil {
+		// The frame went bad (at the header or mid-decode); everything
+		// before the corruption is already enqueued and stays accepted.
+		writeErr(w, http.StatusBadRequest, fi.frameErr)
+		return
 	}
-	for {
-		err := d.Next(&rec)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			// The frame went bad mid-decode; everything before the
-			// corruption is already enqueued and stays accepted.
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		resp.Records++
-		sess, err := s.mgr.lookupBytes(rec.ID)
-		if err != nil {
-			reject(rec.ID, err)
-			continue
-		}
-		flat, err := rec.FloatsInto(getFlat(rec.Values()))
-		if err != nil {
-			putFlat(flat)
-			reject(rec.ID, err)
-			continue
-		}
-		if want := sess.st.TotalServers(); rec.Servers != want {
-			putFlat(flat)
-			reject(rec.ID, fmt.Errorf("padd: record has %d servers, session has %d", rec.Servers, want))
-			continue
-		}
-		if err := sess.EnqueueFlat(flat, rec.Samples); err != nil {
-			putFlat(flat)
-			reject(rec.ID, err)
-			continue
-		}
-		resp.Accepted++
-		resp.Samples += rec.Samples
-		s.mgr.noteIngest(rec.Samples)
+	resp := IngestResponse{Records: fi.records, Accepted: fi.accepted, Samples: fi.samples}
+	for i := range fi.rejects {
+		resp.Rejects = append(resp.Rejects, IngestReject{
+			ID:    string(fi.rejects[i].ID),
+			Error: fi.rejects[i].Err.Error(),
+		})
 	}
-
-	switch {
-	case resp.Accepted > 0 || resp.Records == 0:
-		writeJSON(w, http.StatusAccepted, resp)
-	case allFull:
+	code := fi.httpStatus()
+	if code == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, resp)
-	case allDrain:
-		writeJSON(w, http.StatusServiceUnavailable, resp)
-	default:
-		writeJSON(w, http.StatusBadRequest, resp)
+	}
+	writeJSON(w, code, resp)
+}
+
+// StreamProtocol is the Upgrade token of the persistent ingest stream.
+const StreamProtocol = "pad-stream/1"
+
+// hijackedConn is the post-upgrade connection: reads go through the
+// server's buffered reader (it may have read ahead past the request),
+// writes and close go straight to the socket.
+type hijackedConn struct {
+	r *bufio.Reader
+	net.Conn
+}
+
+func (h hijackedConn) Read(p []byte) (int, error) { return h.r.Read(p) }
+
+// handleStream upgrades the request into a persistent ingest stream:
+// after a 101 handshake the connection stops being HTTP and carries raw
+// stream data frames client→server and binary acks server→client until
+// either side closes. One upgrade per collector replaces one POST per
+// frame — the request lifecycle, not the wire format, bounds the POST
+// path's throughput.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if !s.mgr.Healthy() {
+		writeErr(w, http.StatusServiceUnavailable, ErrShuttingDown)
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, errors.New("padd: streaming needs a hijackable connection"))
+		return
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	// The stream lives until the client hangs up; no HTTP deadlines.
+	conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort on a live socket
+	if _, err := brw.WriteString("HTTP/1.1 101 Switching Protocols\r\nUpgrade: " +
+		StreamProtocol + "\r\nConnection: Upgrade\r\n\r\n"); err != nil {
+		conn.Close()
+		return
+	}
+	if err := brw.Flush(); err != nil {
+		conn.Close()
+		return
+	}
+	s.mgr.ServeStream(hijackedConn{r: brw.Reader, Conn: conn}) //nolint:errcheck // connection-level errors end the stream
+}
+
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
+	if sess := s.session(w, r); sess != nil {
+		sess.Pause()
+		writeJSON(w, http.StatusOK, map[string]string{"status": "paused"})
 	}
 }
 

@@ -299,9 +299,16 @@ func (s *Session) EnqueueFlat(u []float64, samples int) error {
 	}
 	s.queue[(s.qhead+s.qcount)%len(s.queue)] = flatBatch{u: u, samples: samples}
 	s.qcount++
+	paused := s.paused
 	s.qmu.Unlock()
 	s.accepted.Add(int64(samples))
-	s.schedule()
+	// A paused session holds its queue, so waking a worker would only
+	// no-op; Resume schedules when the pause lifts. (No lost wakeup: a
+	// concurrent Resume that cleared the flag before we read it
+	// schedules on its own.)
+	if !paused {
+		s.schedule()
+	}
 	return nil
 }
 
@@ -416,8 +423,19 @@ func (s *Session) pendingWork() bool {
 	return s.qcount > 0 || s.coastDue.Load() > 0
 }
 
-// Resume releases a session created with Paused. Idempotent; a no-op
-// for sessions that were never paused.
+// Pause holds the session's ingest queue: queued and newly accepted
+// batches sit (degrading to backpressure once the queue fills) until
+// Resume. The counterpart of Resume, for quiescing a session without
+// losing its queue; a batch already claimed by a shard worker finishes
+// its ticks first. Idempotent.
+func (s *Session) Pause() {
+	s.qmu.Lock()
+	s.paused = true
+	s.qmu.Unlock()
+}
+
+// Resume releases a session created with Paused (or paused since).
+// Idempotent; a no-op for sessions that were never paused.
 func (s *Session) Resume() {
 	s.qmu.Lock()
 	was := s.paused

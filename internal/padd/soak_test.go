@@ -181,12 +181,17 @@ func TestSoakConcurrentSessions(t *testing.T) {
 }
 
 // TestSoakFleet10k is the fleet soak: 10,000 resident sessions on one
-// manager, fed through BOTH ingest paths at once — half the fleet gets
-// per-session JSON POSTs, half gets batched binary frames carrying 64
-// sessions per POST — then a bounded concurrent Shutdown drains every
-// shard. The lossless-ingest invariant must hold on all 10k sessions.
-// Run under -race this is also the concurrency proof for the sharded
-// actor model: ingest, worker slices and shutdown all overlap.
+// manager, fed through ALL THREE ingest paths at once — a third of the
+// fleet gets per-session JSON POSTs, a third batched binary frames
+// carrying 64 sessions per POST, and a third persistent streams whose
+// connections are forcibly dropped mid-stream with acks unread and then
+// reconnected (resending the unacked frames, at-least-once) — then a
+// bounded concurrent Shutdown drains every shard. The lossless-ingest
+// invariant must hold on all 10k sessions; stream sessions may carry
+// duplicate samples from the resends but never fewer than were acked,
+// and nothing anywhere is discarded. Run under -race this is also the
+// concurrency proof for the sharded actor model: ingest, stream
+// readers/ack writers, worker slices and shutdown all overlap.
 func TestSoakFleet10k(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fleet soak skipped in -short")
@@ -230,9 +235,10 @@ func TestSoakFleet10k(t *testing.T) {
 		flat[j] = 0.5
 	}
 
-	// Half the fleet over JSON, sharded across a few posting goroutines.
+	// A third of the fleet over JSON, sharded across posting goroutines.
 	var wg sync.WaitGroup
-	jsonN := nSessions / 2
+	jsonN := nSessions / 3
+	binHi := 2 * nSessions / 3
 	const posters = 8
 	for p := 0; p < posters; p++ {
 		wg.Add(1)
@@ -254,16 +260,16 @@ func TestSoakFleet10k(t *testing.T) {
 			}
 		}(p)
 	}
-	// The other half over binary frames, 64 sessions per POST.
+	// The middle third over binary frames, 64 sessions per POST.
 	for p := 0; p < posters; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
 			var enc wire.Encoder
-			for lo := jsonN + p*perFrame; lo < nSessions; lo += posters * perFrame {
+			for lo := jsonN + p*perFrame; lo < binHi; lo += posters * perFrame {
 				hi := lo + perFrame
-				if hi > nSessions {
-					hi = nSessions
+				if hi > binHi {
+					hi = binHi
 				}
 				pending := ids[lo:hi]
 				for len(pending) > 0 {
@@ -306,6 +312,110 @@ func TestSoakFleet10k(t *testing.T) {
 			}
 		}(p)
 	}
+	// streamFrames pushes one frame of samples for the given sessions
+	// down a stream stop-and-wait, retrying exactly the queue-full
+	// rejects, mirroring the POST posters' 429 loops.
+	streamFrames := func(sc *padd.StreamClient, pending []string) error {
+		var enc wire.Encoder
+		var a wire.Ack
+		for len(pending) > 0 {
+			enc.Reset()
+			for _, id := range pending {
+				if err := enc.AppendFlat(id, samples, servers, flat); err != nil {
+					return err
+				}
+			}
+			if _, err := sc.Send(enc.Frame()); err != nil {
+				return err
+			}
+			if err := sc.ReadAck(&a); err != nil {
+				return err
+			}
+			switch a.Status {
+			case wire.AckOK:
+				return nil
+			case wire.AckPartial, wire.AckBackpressure:
+				next := pending[:0:0]
+				for _, rej := range a.Rejects {
+					if rej.Reason != wire.RejectQueueFull {
+						return fmt.Errorf("stream reject %s: reason %d", rej.ID, rej.Reason)
+					}
+					next = append(next, string(rej.ID))
+				}
+				pending = next
+				if len(pending) > 0 {
+					time.Sleep(time.Millisecond)
+				}
+			default:
+				return fmt.Errorf("stream ack %s", wire.AckStatusName(a.Status))
+			}
+		}
+		return nil
+	}
+
+	// The last third over persistent streams with forced mid-stream
+	// disconnects: even chunks are acked normally; odd chunks are sent
+	// with acks deliberately unread, then the connection is cut and a
+	// reconnect resends them. Resent frames may duplicate (the server
+	// may have ingested them before the cut) — the assertions below
+	// allow that — but nothing acked may be lost.
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sc, err := padd.DialStream(c.base)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var enc wire.Encoder
+			var unacked [][2]int
+			ci := 0
+			for lo := binHi + p*perFrame; lo < nSessions; lo += posters * perFrame {
+				hi := lo + perFrame
+				if hi > nSessions {
+					hi = nSessions
+				}
+				if ci%2 == 0 {
+					if err := streamFrames(sc, ids[lo:hi]); err != nil {
+						t.Error(err)
+						sc.Close()
+						return
+					}
+				} else {
+					enc.Reset()
+					for _, id := range ids[lo:hi] {
+						if err := enc.AppendFlat(id, samples, servers, flat); err != nil {
+							t.Error(err)
+							sc.Close()
+							return
+						}
+					}
+					if _, err := sc.Send(enc.Frame()); err != nil {
+						t.Error(err)
+						sc.Close()
+						return
+					}
+					unacked = append(unacked, [2]int{lo, hi})
+				}
+				ci++
+			}
+			sc.Flush() //nolint:errcheck // the cut below is the point
+			sc.Close() // forced disconnect: unacked frames in flight
+			sc2, err := padd.DialStream(c.base)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sc2.Close()
+			for _, ch := range unacked {
+				if err := streamFrames(sc2, ids[ch[0]:ch[1]]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
 	wg.Wait()
 	if t.Failed() {
 		t.FailNow()
@@ -317,14 +427,28 @@ func TestSoakFleet10k(t *testing.T) {
 		t.Fatalf("shutdown: %v", err)
 	}
 
+	streamIDs := make(map[string]bool, nSessions-binHi)
+	for _, id := range ids[binHi:] {
+		streamIDs[id] = true
+	}
 	for _, s := range mgr.List() {
 		st := s.Status()
-		if st.Accepted != samples {
+		if streamIDs[st.ID] {
+			// At-least-once across the forced disconnect: every acked
+			// sample landed, resends may have duplicated one frame.
+			if st.Accepted < samples || st.Accepted > 2*samples {
+				t.Errorf("%s: accepted %d samples across reconnect, want %d..%d",
+					st.ID, st.Accepted, samples, 2*samples)
+			}
+		} else if st.Accepted != samples {
 			t.Errorf("%s: accepted %d samples, want %d", st.ID, st.Accepted, samples)
 		}
 		if st.Ticks != st.Accepted+st.Coasts-st.Discarded {
 			t.Errorf("%s: %d ticks from %d accepted (%d coasts, %d discarded)",
 				st.ID, st.Ticks, st.Accepted, st.Coasts, st.Discarded)
+		}
+		if st.Discarded != 0 {
+			t.Errorf("%s: %d samples discarded", st.ID, st.Discarded)
 		}
 		if st.QueueDepth != 0 {
 			t.Errorf("%s: %d batches left after drain", st.ID, st.QueueDepth)
@@ -342,6 +466,8 @@ func TestSoakFleet10k(t *testing.T) {
 		"padd_ingest_frames_total{format=\"json\"}",
 		"padd_ingest_frames_total{format=\"binary\"}",
 		"padd_ingest_batch_size_count",
+		"padd_stream_connections",
+		"padd_stream_frames_total{result=\"ok\"}",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics exposition missing %q", want)

@@ -70,6 +70,34 @@ func BenchmarkWireDecode(b *testing.B) {
 	b.ReportMetric(float64(samples)/float64(b.N), "samples/op")
 }
 
+// BenchmarkAckEncode is the CI-gated stream ack path: one partial ack
+// (two rejects) encoded into a reused buffer. It must report exactly
+// 0 allocs/op — the stream server acks every frame on a long-lived
+// connection and may not churn the garbage collector to do it.
+func BenchmarkAckEncode(b *testing.B) {
+	ack := Ack{
+		Seq:     7,
+		Status:  AckPartial,
+		Records: 62,
+		Samples: 992,
+		Rejects: []AckReject{
+			{Reason: RejectQueueFull, ID: []byte("load-000017")},
+			{Reason: RejectQueueFull, ID: []byte("load-000049")},
+		},
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ack.Seq = uint64(i)
+		buf = AppendAck(buf[:0], &ack)
+	}
+	b.StopTimer()
+	if len(buf) <= AckHeaderSize {
+		b.Fatal("ack did not encode")
+	}
+}
+
 // BenchmarkWireEncode builds the same frame each iteration, reusing the
 // encoder's buffer.
 func BenchmarkWireEncode(b *testing.B) {
