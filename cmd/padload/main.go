@@ -121,6 +121,10 @@ func main() {
 		}
 		fmt.Printf("padload: verified: every acknowledged sample ticked, zero discards\n")
 	}
+	// End-of-run fleet rollup: where the driven fleet landed.
+	if err := lg.fleetReport(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "padload: fleet rollup unavailable: %v\n", err)
+	}
 	if !*keep {
 		if err := lg.deleteAll(ids, *workers); err != nil {
 			fatal(err)
@@ -448,6 +452,59 @@ func (lg *loadgen) verify(ids []string, sent int64) error {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
+
+// fleetReport fetches GET /v1/fleet and prints the rollup padtop
+// renders live — security-level distribution and breaker-margin
+// percentiles — as an end-of-run summary of where the fleet landed.
+func (lg *loadgen) fleetReport(w io.Writer) error {
+	resp, err := lg.client.Get(lg.base + "/v1/fleet")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var fs padd.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		return err
+	}
+	levels := make([]string, 0, len(fs.LevelSessions))
+	for l, n := range fs.LevelSessions {
+		if n > 0 {
+			levels = append(levels, fmt.Sprintf("L%d:%d", l, n))
+		}
+	}
+	if len(levels) == 0 {
+		levels = append(levels, "none")
+	}
+	var total int64
+	for _, n := range fs.MarginSessions {
+		total += n
+	}
+	// Margin percentiles from the occupancy distribution: the smallest
+	// bound covering the quantile (the last bucket is open-ended).
+	quantile := func(q float64) string {
+		if total == 0 {
+			return "n/a"
+		}
+		target := int64(math.Ceil(q * float64(total)))
+		cum := int64(0)
+		for i, n := range fs.MarginSessions {
+			cum += n
+			if cum >= target {
+				if i < len(fs.MarginBoundsWatts) {
+					return fmt.Sprintf("<=%gW", fs.MarginBoundsWatts[i])
+				}
+				break
+			}
+		}
+		return fmt.Sprintf(">%gW", fs.MarginBoundsWatts[len(fs.MarginBoundsWatts)-1])
+	}
+	fmt.Fprintf(w, "padload: fleet: %d sessions (%d under attack), levels %s, margin p50 %s p99 %s\n",
+		fs.Sessions, fs.SessionsUnderAttack, strings.Join(levels, " "), quantile(0.50), quantile(0.99))
+	return nil
 }
 
 func (lg *loadgen) deleteAll(ids []string, workers int) error {

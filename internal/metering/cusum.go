@@ -72,6 +72,13 @@ func (d *CUSUMDetector) Observe(r IntervalReading) bool {
 // Baseline returns the current baseline estimate.
 func (d *CUSUMDetector) Baseline() units.Watts { return units.Watts(d.baseline) }
 
+// Sum returns the current cumulative statistic (in baseline-fractions).
+// A transition from zero to positive marks the onset of an excursion —
+// the earliest online-observable moment of an anomaly — which is what
+// padd's detection-latency accounting anchors on; the statistic returns
+// to zero when the excursion decays or flags.
+func (d *CUSUMDetector) Sum() float64 { return d.sum }
+
 // Flags returns how many times the statistic crossed the decision level.
 func (d *CUSUMDetector) Flags() int { return d.flags }
 

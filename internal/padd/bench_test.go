@@ -49,6 +49,9 @@ func benchFleet(b *testing.B) (*httptest.Server, []string, func()) {
 			ServersPerRack: 4,
 			QueueDepth:     256,
 			Paused:         true,
+			// These benchmarks price the ingest transports; the per-tick
+			// series cost is measured by BenchmarkSessionPublishSeries.
+			DisableSeries: true,
 		})
 		if err != nil {
 			b.Fatal(err)

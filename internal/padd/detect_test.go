@@ -1,0 +1,137 @@
+package padd_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/metering"
+	"repro/internal/padd"
+)
+
+// TestDetectionLatencyPinned replays the canonical Figure-9 scenario
+// through a live session and pins the fleet detection/shed latency
+// accounting against an independent reference: a fresh stepper driven
+// tick-for-tick with its own meter and CUSUM detector, replicating the
+// session's onset/flag/shed rules. Counts, bucket occupancy and sums
+// must match exactly — both sides run the same deterministic engine, so
+// any divergence is a bookkeeping bug, not noise.
+func TestDetectionLatencyPinned(t *testing.T) {
+	st := figure9Stepper(t, false)
+	meter, err := metering.NewMeter(5*time.Second, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cusum := metering.NewCUSUMDetector(0)
+
+	var (
+		demand     [][]float64
+		excursion  bool
+		shedSeen   bool
+		onset      time.Duration
+		onsets     int64
+		detectLats []time.Duration
+		shedLats   []time.Duration
+	)
+	for !st.Done() {
+		d := st.ComputeDemand()
+		cp := make([]float64, len(d))
+		copy(cp, d)
+		demand = append(demand, cp)
+		if err := st.Advance(d); err != nil {
+			t.Fatal(err)
+		}
+		ts := st.Stats()
+		for _, r := range meter.Record(ts.TotalGrid, st.Tick()) {
+			flagged := cusum.Observe(r)
+			if !excursion && (flagged || cusum.Sum() > 0) {
+				excursion, shedSeen, onset = true, false, r.Start
+				onsets++
+			}
+			if flagged {
+				detectLats = append(detectLats, st.Now()-onset)
+				excursion = false
+			} else if excursion && cusum.Sum() == 0 {
+				excursion = false
+			}
+		}
+		if excursion && !shedSeen && ts.ShedServers > 0 {
+			shedSeen = true
+			shedLats = append(shedLats, st.Now()-onset)
+		}
+	}
+	if onsets == 0 || len(detectLats) == 0 || len(shedLats) == 0 {
+		t.Fatalf("reference run proves nothing: %d onsets, %d detections, %d sheds",
+			onsets, len(detectLats), len(shedLats))
+	}
+
+	// Online: the same demand through a live session, drained by Delete.
+	mgr := padd.NewManager()
+	defer mgr.Shutdown(context.Background())
+	sess, err := mgr.Create(padd.SessionConfig{
+		ID: "det", Scheme: "PAD", Racks: fig9Racks, ServersPerRack: fig9SPR,
+		Tick:             padd.Duration{Duration: fig9Tick},
+		Horizon:          padd.Duration{Duration: fig9Duration},
+		Oversubscription: fig9Ratio,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < len(demand); start += 100 {
+		end := min(start+100, len(demand))
+		for {
+			err := sess.Enqueue(demand[start:end])
+			if err == nil {
+				break
+			}
+			if err != padd.ErrQueueFull {
+				t.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if _, err := mgr.Delete("det"); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := mgr.Fleet()
+	if fs.DetectionOnsets != onsets {
+		t.Errorf("detection onsets = %d, want %d", fs.DetectionOnsets, onsets)
+	}
+	if fs.SessionsUnderAttack != 0 {
+		t.Errorf("sessions under attack = %d after drain, want 0", fs.SessionsUnderAttack)
+	}
+	checkHist := func(name string, h padd.HistogramStatus, lats []time.Duration) {
+		t.Helper()
+		counts := make([]int64, len(h.BoundsSeconds)+1)
+		var sumNanos int64
+		for _, d := range lats {
+			sumNanos += int64(d)
+			s := d.Seconds()
+			bi := len(h.BoundsSeconds)
+			for i, b := range h.BoundsSeconds {
+				if s <= b {
+					bi = i
+					break
+				}
+			}
+			counts[bi]++
+		}
+		if h.Count != int64(len(lats)) {
+			t.Errorf("%s latency count = %d, want %d", name, h.Count, len(lats))
+		}
+		// Both sides compute seconds as nanos/1e9, so == is exact.
+		if want := float64(sumNanos) / 1e9; h.SumSeconds != want {
+			t.Errorf("%s latency sum = %v s, want %v s", name, h.SumSeconds, want)
+		}
+		for i := range counts {
+			if h.Counts[i] != counts[i] {
+				t.Errorf("%s latency bucket %d = %d, want %d (got %v, want %v)",
+					name, i, h.Counts[i], counts[i], h.Counts, counts)
+				break
+			}
+		}
+	}
+	checkHist("detection", fs.DetectionLatency, detectLats)
+	checkHist("shed", fs.ShedLatency, shedLats)
+}

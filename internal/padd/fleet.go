@@ -1,0 +1,247 @@
+package padd
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// numLevels sizes the fleet level distribution: level 0 (schemes
+// without a security policy) plus the Figure-9 levels L1..L3.
+const numLevels = 4
+
+// marginBounds are the fleet margin-distribution bucket upper bounds in
+// watts: how many sessions currently sit at or below each breaker
+// margin. The low buckets are the alarm zone — a PDU-scale session
+// normally idles with kilowatts of headroom.
+var marginBounds = [numMarginBounds]float64{0, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000}
+
+const numMarginBounds = 9
+
+// marginBucket maps a breaker margin to its distribution bucket.
+func marginBucket(w float64) int {
+	for i, b := range marginBounds {
+		if w <= b {
+			return i
+		}
+	}
+	return numMarginBounds
+}
+
+// detectionBounds are the detection/shed latency histogram bucket upper
+// bounds in seconds of simulated time. With the default 5s metering
+// interval a single-interval detection lands at 5–10s; the tail covers
+// slow-burn excursions that accumulate across many intervals.
+var detectionBounds = [numDetBounds]float64{1, 2.5, 5, 7.5, 10, 15, 30, 60, 120, 300}
+
+const numDetBounds = 10
+
+// detHist is a lock-free fixed-bucket histogram of sim-time latencies,
+// written by shard executors concurrently. The sum is kept in integer
+// nanoseconds so concurrent observes never lose precision to a float
+// CAS loop; scrapes may tear across one observe, which Prometheus
+// histograms tolerate by design.
+type detHist struct {
+	counts   [numDetBounds + 1]atomic.Uint64 // +Inf bucket last
+	sumNanos atomic.Int64
+	total    atomic.Uint64
+}
+
+func (h *detHist) observe(d time.Duration) {
+	h.sumNanos.Add(int64(d))
+	h.total.Add(1)
+	s := d.Seconds()
+	for i, b := range detectionBounds {
+		if s <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[numDetBounds].Add(1)
+}
+
+// detectionStats is the manager-wide detection-latency accounting,
+// shared by every shard. An "onset" is the tick the CUSUM statistic
+// first leaves zero — the earliest online-observable sign of an
+// anomaly; detection latency runs from that onset to the CUSUM flag,
+// shed latency from the onset to the first tick shedding is engaged
+// while the excursion is open. Both are simulated (tick) time, so they
+// measure the defense, not the host's scheduling.
+type detectionStats struct {
+	onsets atomic.Int64
+	detect detHist
+	shed   detHist
+}
+
+// shardRollup is one shard's lock-cheap fleet aggregate: independent
+// atomics the executing workers move as their sessions change state, so
+// a fleet-wide scrape is O(shards), not O(sessions). Level and margin
+// are occupancy counters (each resident session sits in exactly one
+// bucket of each); samples is the shard's accepted-sample counter, the
+// numerator of its ingest rate.
+type shardRollup struct {
+	levels      [numLevels]atomic.Int64
+	margin      [numMarginBounds + 1]atomic.Int64
+	underAttack atomic.Int64
+	samples     atomic.Int64
+}
+
+// join registers a fresh session in the rollup at its initial position.
+func (r *shardRollup) join(level, marginBucket int) {
+	r.levels[level].Add(1)
+	r.margin[marginBucket].Add(1)
+}
+
+// sessionSeries holds one session's observability rings: the per-tick
+// engine signals a dashboard needs to see a trajectory for. Each ring
+// is an obs.Series with the standard tiered geometry; the executing
+// worker is the only writer, snapshot readers come and go freely.
+type sessionSeries struct {
+	soc    *obs.Series
+	level  *obs.Series
+	shed   *obs.Series
+	margin *obs.Series
+	queue  *obs.Series
+}
+
+func newSessionSeries(tick time.Duration) *sessionSeries {
+	tiers := obs.DefaultTiers(tick)
+	return &sessionSeries{
+		soc:    obs.NewSeries(tiers...),
+		level:  obs.NewSeries(tiers...),
+		shed:   obs.NewSeries(tiers...),
+		margin: obs.NewSeries(tiers...),
+		queue:  obs.NewSeries(tiers...),
+	}
+}
+
+// SeriesMetrics lists the metric names GET /v1/sessions/{id}/series
+// accepts, in the order padtop cycles through them.
+var SeriesMetrics = []string{"soc", "level", "shed_watts", "margin_watts", "queue_depth"}
+
+// byName resolves a series endpoint metric name to its ring.
+func (ss *sessionSeries) byName(metric string) *obs.Series {
+	switch metric {
+	case "soc":
+		return ss.soc
+	case "level":
+		return ss.level
+	case "shed_watts":
+		return ss.shed
+	case "margin_watts":
+		return ss.margin
+	case "queue_depth":
+		return ss.queue
+	}
+	return nil
+}
+
+// SeriesResolutions maps the series endpoint's res= values to
+// downsampling tiers, matching obs.DefaultTiers' geometry.
+var SeriesResolutions = []string{"raw", "10s", "1m"}
+
+// seriesTier resolves a res= value to its tier index, or -1.
+func seriesTier(res string) int {
+	for i, r := range SeriesResolutions {
+		if r == res {
+			return i
+		}
+	}
+	return -1
+}
+
+// HistogramStatus is a latency histogram in the fleet rollup JSON:
+// per-bucket (non-cumulative) counts, the final count being the
+// overflow bucket past the last bound.
+type HistogramStatus struct {
+	BoundsSeconds []float64 `json:"bounds_seconds"`
+	Counts        []int64   `json:"counts"`
+	SumSeconds    float64   `json:"sum_seconds"`
+	Count         int64     `json:"count"`
+}
+
+// ShardStatus is one shard's slice of the fleet rollup.
+type ShardStatus struct {
+	Shard           int   `json:"shard"`
+	Sessions        int   `json:"sessions"`
+	AcceptedSamples int64 `json:"accepted_samples"`
+}
+
+// FleetStatus is the GET /v1/fleet rollup: the whole fleet's state in
+// O(shards) counters, scraped without touching a single session lock.
+// Field order is fixed by this struct — the JSON is golden-tested.
+type FleetStatus struct {
+	Sessions            int     `json:"sessions"`
+	SessionsUnderAttack int64   `json:"sessions_under_attack"`
+	LevelSessions       []int64 `json:"level_sessions"` // index = security level 0..3
+
+	MarginBoundsWatts []float64 `json:"margin_bounds_watts"`
+	MarginSessions    []int64   `json:"margin_sessions"` // per bound, last is overflow
+
+	DetectionOnsets  int64           `json:"detection_onsets"`
+	DetectionLatency HistogramStatus `json:"detection_latency_seconds"`
+	ShedLatency      HistogramStatus `json:"shed_latency_seconds"`
+
+	IngestFramesJSON   int64 `json:"ingest_frames_json"`
+	IngestFramesBinary int64 `json:"ingest_frames_binary"`
+	StreamConnections  int   `json:"stream_connections"`
+
+	Shards []ShardStatus `json:"shards"`
+}
+
+// histStatus converts a detHist snapshot into its JSON view.
+func histStatus(counts []uint64, sumNanos int64, total uint64) HistogramStatus {
+	h := HistogramStatus{
+		BoundsSeconds: detectionBounds[:],
+		Counts:        make([]int64, len(counts)),
+		SumSeconds:    float64(sumNanos) / 1e9,
+		Count:         int64(total),
+	}
+	for i, c := range counts {
+		h.Counts[i] = int64(c)
+	}
+	return h
+}
+
+// Fleet snapshots the fleet rollup. Reads only shard-level atomics and
+// the per-shard session counts — never a session's snapshot mutex — so
+// it cannot stall the ingest hot path.
+func (m *Manager) Fleet() FleetStatus {
+	fs := FleetStatus{
+		LevelSessions:     make([]int64, numLevels),
+		MarginBoundsWatts: marginBounds[:],
+		MarginSessions:    make([]int64, numMarginBounds+1),
+
+		DetectionOnsets: m.det.onsets.Load(),
+
+		IngestFramesJSON:   m.framesJSON.Load(),
+		IngestFramesBinary: m.framesBinary.Load(),
+		StreamConnections:  m.StreamConnections(),
+	}
+	counts := m.ShardSessions()
+	fs.Shards = make([]ShardStatus, len(m.shards))
+	for i, sh := range m.shards {
+		fs.Sessions += counts[i]
+		fs.Shards[i] = ShardStatus{
+			Shard:           i,
+			Sessions:        counts[i],
+			AcceptedSamples: sh.rollup.samples.Load(),
+		}
+		fs.SessionsUnderAttack += sh.rollup.underAttack.Load()
+		for l := 0; l < numLevels; l++ {
+			fs.LevelSessions[l] += sh.rollup.levels[l].Load()
+		}
+		for b := 0; b <= numMarginBounds; b++ {
+			fs.MarginSessions[b] += sh.rollup.margin[b].Load()
+		}
+	}
+	var dc, sc [numDetBounds + 1]uint64
+	for i := range dc {
+		dc[i] = m.det.detect.counts[i].Load()
+		sc[i] = m.det.shed.counts[i].Load()
+	}
+	fs.DetectionLatency = histStatus(dc[:], m.det.detect.sumNanos.Load(), m.det.detect.total.Load())
+	fs.ShedLatency = histStatus(sc[:], m.det.shed.sumNanos.Load(), m.det.shed.total.Load())
+	return fs
+}

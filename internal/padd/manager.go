@@ -62,6 +62,17 @@ type Manager struct {
 	framesBinary atomic.Int64
 	batchSizes   batchHist
 
+	// det is the fleet-wide detection-latency accounting shared by every
+	// shard's executors.
+	det detectionStats
+
+	// GC-pause accounting for the padd_go_gc_pauses family: the pause
+	// ring in runtime.MemStats is diffed against the last scraped GC
+	// cycle under gcMu.
+	gcMu      sync.Mutex
+	lastNumGC uint32
+	gcPauses  gcHist
+
 	// Persistent-stream state: live connections (closed on Shutdown),
 	// frames acked but not yet written (the in-flight window gauge) and
 	// per-ack-status frame counters.
@@ -79,7 +90,7 @@ func NewManagerWith(opts Options) *Manager {
 	opts = opts.withDefaults()
 	m := &Manager{opts: opts, shards: make([]*shard, opts.Shards)}
 	for i := range m.shards {
-		m.shards[i] = newShard(opts.ShardWorkers)
+		m.shards[i] = newShard(opts.ShardWorkers, &m.det)
 	}
 	return m
 }
@@ -149,6 +160,7 @@ func (m *Manager) Create(cfg SessionConfig) (*Session, error) {
 		sh.mu.Unlock()
 		sh.removeWallClock(s)
 		s.Stop()
+		s.rollupLeave()
 		rollback()
 		return nil, ErrShuttingDown
 	}
@@ -229,6 +241,7 @@ func (m *Manager) Delete(id string) (*Session, error) {
 	sh.mu.Unlock()
 	sh.removeWallClock(s)
 	s.Stop()
+	s.rollupLeave()
 	m.count.Add(-1)
 	return s, nil
 }

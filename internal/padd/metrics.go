@@ -2,6 +2,7 @@ package padd
 
 import (
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync/atomic"
@@ -90,6 +91,33 @@ func (m *Manager) noteFrame(binary bool) {
 // (wire.AckOK through wire.AckMalformed).
 const numAckStatuses = wire.AckMalformed + 1
 
+// gcPauseBounds are the padd_go_gc_pauses histogram bucket upper bounds
+// in seconds; Go stop-the-world pauses sit well under a millisecond on
+// a healthy box, so the tail buckets are the alarm zone.
+var gcPauseBounds = [numGCBounds]float64{10e-6, 50e-6, 100e-6, 500e-6, 1e-3, 5e-3, 10e-3, 50e-3, 100e-3}
+
+const numGCBounds = 9
+
+// gcHist is the GC-pause histogram, guarded by Manager.gcMu (pauses are
+// harvested from runtime.MemStats at scrape time, never on a hot path).
+type gcHist struct {
+	counts [numGCBounds + 1]uint64 // +Inf bucket last
+	sum    float64
+	total  uint64
+}
+
+func (h *gcHist) observe(seconds float64) {
+	h.sum += seconds
+	h.total++
+	for i, b := range gcPauseBounds {
+		if seconds <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[numGCBounds]++
+}
+
 // noteStreamFrame counts one stream data frame by its ack status.
 func (m *Manager) noteStreamFrame(status byte) {
 	if int(status) < len(m.streamFrames) {
@@ -108,6 +136,30 @@ type fleetMetrics struct {
 	StreamConns    int
 	StreamInflight int64
 	StreamFrames   [numAckStatuses]int64
+
+	// Fleet rollups, summed over the per-shard atomics.
+	LevelSessions [numLevels]int64
+	UnderAttack   int64
+	MarginCounts  [numMarginBounds + 1]int64
+	ShardSamples  []int64
+
+	// Detection-latency accounting (sim time, seconds).
+	Onsets       int64
+	DetectCounts [numDetBounds + 1]uint64
+	DetectSum    float64
+	DetectTotal  uint64
+	ShedCounts   [numDetBounds + 1]uint64
+	ShedSum      float64
+	ShedTotal    uint64
+
+	// Go runtime families. Threaded through this snapshot (rather than
+	// read inside the writer) so the golden test can pin the exposition
+	// with synthetic values.
+	Goroutines    int
+	HeapBytes     uint64
+	GCPauseCounts [numGCBounds + 1]uint64
+	GCPauseSum    float64
+	GCPauseTotal  uint64
 }
 
 func (m *Manager) fleetMetrics() fleetMetrics {
@@ -126,6 +178,46 @@ func (m *Manager) fleetMetrics() fleetMetrics {
 	for i := range fm.StreamFrames {
 		fm.StreamFrames[i] = m.streamFrames[i].Load()
 	}
+
+	fm.ShardSamples = make([]int64, len(m.shards))
+	for i, sh := range m.shards {
+		fm.ShardSamples[i] = sh.rollup.samples.Load()
+		fm.UnderAttack += sh.rollup.underAttack.Load()
+		for l := 0; l < numLevels; l++ {
+			fm.LevelSessions[l] += sh.rollup.levels[l].Load()
+		}
+		for b := 0; b <= numMarginBounds; b++ {
+			fm.MarginCounts[b] += sh.rollup.margin[b].Load()
+		}
+	}
+	fm.Onsets = m.det.onsets.Load()
+	for i := range fm.DetectCounts {
+		fm.DetectCounts[i] = m.det.detect.counts[i].Load()
+		fm.ShedCounts[i] = m.det.shed.counts[i].Load()
+	}
+	fm.DetectSum = float64(m.det.detect.sumNanos.Load()) / 1e9
+	fm.DetectTotal = m.det.detect.total.Load()
+	fm.ShedSum = float64(m.det.shed.sumNanos.Load()) / 1e9
+	fm.ShedTotal = m.det.shed.total.Load()
+
+	fm.Goroutines = runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fm.HeapBytes = ms.HeapAlloc
+	m.gcMu.Lock()
+	if ms.NumGC-m.lastNumGC > uint32(len(ms.PauseNs)) {
+		// More cycles than the runtime's pause ring retains since the
+		// last scrape; the older pauses are gone.
+		m.lastNumGC = ms.NumGC - uint32(len(ms.PauseNs))
+	}
+	for n := m.lastNumGC; n < ms.NumGC; n++ {
+		m.gcPauses.observe(float64(ms.PauseNs[n%uint32(len(ms.PauseNs))]) / 1e9)
+	}
+	m.lastNumGC = ms.NumGC
+	fm.GCPauseCounts = m.gcPauses.counts
+	fm.GCPauseSum = m.gcPauses.sum
+	fm.GCPauseTotal = m.gcPauses.total
+	m.gcMu.Unlock()
 	return fm
 }
 
@@ -175,6 +267,37 @@ func writeSessionMetrics(w io.Writer, fm fleetMetrics, rows []metricsRow) {
 	}
 	reg.Gauge("padd_stream_inflight_window", "Stream frames ingested but not yet acked (in-flight window occupancy).", "").
 		Set("", float64(fm.StreamInflight))
+
+	levelSessions := reg.Gauge("padd_fleet_level_sessions", "Resident sessions at each security level (0 = scheme without a policy).", "level")
+	for l := 0; l < numLevels; l++ {
+		levelSessions.Set(strconv.Itoa(l), float64(fm.LevelSessions[l]))
+	}
+	reg.Gauge("padd_fleet_sessions_under_attack", "Sessions with an open CUSUM excursion.", "").
+		Set("", float64(fm.UnderAttack))
+	marginDist := reg.Gauge("padd_fleet_margin_watts", "Sessions at or below each breaker-margin bound (cumulative occupancy).", "le")
+	cumMargin := int64(0)
+	for i, b := range marginBounds {
+		cumMargin += fm.MarginCounts[i]
+		marginDist.Set(strconv.FormatFloat(b, 'g', -1, 64), float64(cumMargin))
+	}
+	cumMargin += fm.MarginCounts[numMarginBounds]
+	marginDist.Set("+Inf", float64(cumMargin))
+	reg.Counter("padd_detection_onsets_total", "CUSUM excursions opened (statistic left zero).", "").
+		Set("", float64(fm.Onsets))
+	reg.Histogram("padd_detection_latency_seconds", "Sim time from excursion onset to the CUSUM flag.", "", detectionBounds[:]).
+		SetHistogram("", fm.DetectCounts[:], fm.DetectSum, fm.DetectTotal)
+	reg.Histogram("padd_shed_latency_seconds", "Sim time from excursion onset to the first shedding tick.", "", detectionBounds[:]).
+		SetHistogram("", fm.ShedCounts[:], fm.ShedSum, fm.ShedTotal)
+	shardSamples := reg.Counter("padd_shard_ingest_samples_total", "Telemetry samples accepted per manager shard.", "shard")
+	for i, n := range fm.ShardSamples {
+		shardSamples.Set(strconv.Itoa(i), float64(n))
+	}
+	reg.Gauge("padd_go_goroutines", "Goroutines in the daemon process.", "").
+		Set("", float64(fm.Goroutines))
+	reg.Gauge("padd_go_heap_bytes", "Live heap bytes (runtime.MemStats.HeapAlloc).", "").
+		Set("", float64(fm.HeapBytes))
+	reg.Histogram("padd_go_gc_pauses", "Stop-the-world GC pause durations in seconds.", "", gcPauseBounds[:]).
+		SetHistogram("", fm.GCPauseCounts[:], fm.GCPauseSum, fm.GCPauseTotal)
 
 	gauge := func(name, help string) *obs.Family { return reg.Gauge(name, help, "session") }
 	counter := func(name, help string) *obs.Family { return reg.Counter(name, help, "session") }

@@ -73,6 +73,23 @@ func goldenFleet() fleetMetrics {
 	fm.BatchCounts = [numBatchBounds + 1]uint64{5, 3, 10, 20, 8, 1, 0, 0, 0, 0, 1, 0}
 	fm.BatchSum = 4850
 	fm.BatchTotal = 48
+
+	fm.LevelSessions = [numLevels]int64{0, 1, 1, 0}
+	fm.UnderAttack = 1
+	fm.MarginCounts = [numMarginBounds + 1]int64{0, 0, 1, 1, 0, 0, 0, 0, 0, 0}
+	fm.ShardSamples = []int64{4800, 50}
+	fm.Onsets = 3
+	fm.DetectCounts = [numDetBounds + 1]uint64{0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0}
+	fm.DetectSum = 12.5
+	fm.DetectTotal = 2
+	fm.ShedCounts = [numDetBounds + 1]uint64{0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0}
+	fm.ShedSum = 6.2
+	fm.ShedTotal = 1
+	fm.Goroutines = 17
+	fm.HeapBytes = 4 << 20
+	fm.GCPauseCounts = [numGCBounds + 1]uint64{2, 5, 1, 0, 0, 0, 0, 0, 0, 0}
+	fm.GCPauseSum = 0.00042
+	fm.GCPauseTotal = 8
 	return fm
 }
 
@@ -120,6 +137,17 @@ func TestMetricsEmpty(t *testing.T) {
 		"padd_stream_frames_total{result=\"backpressure\"} 0\n",
 		"padd_stream_inflight_window 0\n",
 		"padd_ingest_batch_size_count 0\n",
+		"padd_fleet_level_sessions{level=\"0\"} 0\n",
+		"padd_fleet_level_sessions{level=\"3\"} 0\n",
+		"padd_fleet_sessions_under_attack 0\n",
+		"padd_fleet_margin_watts{le=\"+Inf\"} 0\n",
+		"padd_detection_onsets_total 0\n",
+		"# TYPE padd_detection_latency_seconds histogram\n",
+		"# TYPE padd_shed_latency_seconds histogram\n",
+		"# TYPE padd_shard_ingest_samples_total counter\n",
+		"padd_go_goroutines 0\n",
+		"padd_go_heap_bytes 0\n",
+		"# TYPE padd_go_gc_pauses histogram\n",
 		"# TYPE padd_session_soc gauge\n",
 		"# TYPE padd_session_ticks_total counter\n",
 		"# TYPE padd_tick_latency_seconds histogram\n",

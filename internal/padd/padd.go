@@ -23,9 +23,16 @@
 //     breakers and the security policy keep advancing.
 //   - Observability: GET /metrics exposes Prometheus-style per-session
 //     gauges (SOC, security level, shed watts, breaker margin, queue
-//     depth) and a tick-latency histogram; GET
-//     /v1/sessions/{id}/events returns the ring-buffered log of level
-//     transitions, shed/trip/coast/anomaly actions.
+//     depth), tick- and detection-latency histograms, fleet occupancy
+//     families and Go runtime stats; GET /v1/sessions/{id}/events
+//     returns the ring-buffered log of level transitions,
+//     shed/trip/coast/anomaly actions. Each session additionally
+//     records its key signals into bounded ring time series with
+//     tiered downsampling (GET /v1/sessions/{id}/series, zero
+//     allocations per tick, opt out with DisableSeries), and GET
+//     /v1/fleet serves O(shards) rollups — sessions per security level
+//     and breaker-margin band, under-attack count, detection-latency
+//     histograms — that cmd/padtop renders as a terminal dashboard.
 //   - Replay: the bridge in replay.go pipes a generated trace through
 //     the real ingest path and compares the resulting actions and
 //     levels against the offline sim.Run — the guarantee that online
@@ -110,6 +117,13 @@ type SessionConfig struct {
 	// up to QueueDepth (then 429) until POST .../resume. Useful for
 	// priming a queue deterministically.
 	Paused bool `json:"paused,omitempty"`
+	// DisableSeries turns off the per-session observability rings
+	// behind GET /v1/sessions/{id}/series (SOC, level, shed watts,
+	// breaker margin, queue depth at raw/10s/1m resolutions). Recording
+	// is on by default and allocation-free on the publish path; the
+	// gate exists for fleets dense enough that ~50KB of rings per
+	// session matters more than per-session trajectories.
+	DisableSeries bool `json:"disable_series,omitempty"`
 	// Record keeps the engine's full time-series recording (replay and
 	// debugging; costs memory proportional to Horizon/RecordStep).
 	Record bool `json:"record,omitempty"`

@@ -31,6 +31,53 @@ func legalEdges() map[[2]core.Level]bool {
 	return edges
 }
 
+// The canonical hot scenario — noisy 70% background plus a CPU-spike
+// virus on 120 nodes — shared by TestOnlineLevelsMatchOffline and the
+// detection-latency pin. Hot enough that PAD leaves Level 1, sheds,
+// and the CUSUM detector flags.
+const (
+	fig9Racks    = 22
+	fig9SPR      = 10
+	fig9Nodes    = 120
+	fig9Ratio    = 0.6
+	fig9Duration = 4 * time.Minute
+	fig9Tick     = 100 * time.Millisecond
+)
+
+// figure9Stepper builds a fresh offline stepper for the canonical
+// scenario; every instance is bit-identical (seeded generators).
+func figure9Stepper(t *testing.T, record bool) *sim.Stepper {
+	t.Helper()
+	bg := stats.NoisyUtilization(fig9Racks*fig9SPR, 0.7, fig9Duration, 10*time.Second, 7)
+	atk, err := virus.New(virus.Config{
+		Profile: virus.CPUIntensive, SpikeWidth: 5 * time.Second, SpikesPerMinute: 6, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked := make([]int, fig9Nodes)
+	for i := range attacked {
+		attacked[i] = i
+	}
+	scheme, err := schemes.ByName("PAD", schemes.Options{ServersPerRack: fig9SPR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := sim.Config{
+		Racks: fig9Racks, ServersPerRack: fig9SPR, Duration: fig9Duration, Tick: fig9Tick,
+		OversubscriptionRatio: fig9Ratio,
+		Background:            bg,
+		Attack:                &sim.AttackSpec{Servers: attacked, Attack: atk},
+		MicroDEBFactory:       schemes.MicroDEBFactory(0.01),
+		Record:                record, RecordStep: fig9Tick,
+	}
+	st, err := sim.NewStepper(simCfg, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 // TestOnlineLevelsMatchOffline drives a scenario hot enough that PAD
 // leaves Level 1 and recovers, and checks three things: the offline
 // engine's level sequence only uses edges the canonical timeline
@@ -38,41 +85,13 @@ func legalEdges() map[[2]core.Level]bool {
 // session's event log reports each transition.
 func TestOnlineLevelsMatchOffline(t *testing.T) {
 	const (
-		racks    = 22
-		spr      = 10
-		servers  = racks * spr
-		nodes    = 120
-		ratio    = 0.6
-		duration = 4 * time.Minute
-		tick     = 100 * time.Millisecond
+		racks    = fig9Racks
+		spr      = fig9SPR
+		ratio    = fig9Ratio
+		duration = fig9Duration
+		tick     = fig9Tick
 	)
-	bg := stats.NoisyUtilization(servers, 0.7, duration, 10*time.Second, 7)
-	atk, err := virus.New(virus.Config{
-		Profile: virus.CPUIntensive, SpikeWidth: 5 * time.Second, SpikesPerMinute: 6, Seed: 7,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	attacked := make([]int, nodes)
-	for i := range attacked {
-		attacked[i] = i
-	}
-	scheme, err := schemes.ByName("PAD", schemes.Options{ServersPerRack: spr})
-	if err != nil {
-		t.Fatal(err)
-	}
-	simCfg := sim.Config{
-		Racks: racks, ServersPerRack: spr, Duration: duration, Tick: tick,
-		OversubscriptionRatio: ratio,
-		Background:            bg,
-		Attack:                &sim.AttackSpec{Servers: attacked, Attack: atk},
-		MicroDEBFactory:       schemes.MicroDEBFactory(0.01),
-		Record:                true, RecordStep: tick,
-	}
-	st, err := sim.NewStepper(simCfg, scheme)
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := figure9Stepper(t, true)
 	var demand [][]float64
 	for !st.Done() {
 		d := st.ComputeDemand()

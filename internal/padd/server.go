@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds a request body; a full-scale 220-server batch of
@@ -33,6 +35,8 @@ const maxBodyBytes = 32 << 20
 //	POST   /v1/sessions/{id}/pause       hold the ingest queue until resume
 //	POST   /v1/sessions/{id}/resume      release a paused session
 //	GET    /v1/sessions/{id}/events      ring-buffered action log (?since=N)
+//	GET    /v1/sessions/{id}/series      ring time series (?metric=soc&res=raw&since=N)
+//	GET    /v1/fleet                     fleet rollup (levels, margins, detection latency)
 type Server struct {
 	mgr *Manager
 	mux *http.ServeMux
@@ -53,6 +57,8 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/pause", s.handlePause)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/resume", s.handleResume)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/series", s.handleSeries)
+	s.mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	return s
 }
 
@@ -93,6 +99,12 @@ type SessionStatus struct {
 	Coasts     int64 `json:"coast_ticks"`
 	Discarded  int64 `json:"discarded_samples"`
 	Anomalies  int64 `json:"anomalies"`
+
+	// UptimeSeconds is wall time since the session was created;
+	// LastTelemetryAgeSeconds is wall time since the last accepted
+	// telemetry batch, or -1 when none has arrived yet.
+	UptimeSeconds           float64 `json:"uptime_seconds"`
+	LastTelemetryAgeSeconds float64 `json:"last_telemetry_age_seconds"`
 }
 
 func statusOf(s *Session) SessionStatus { return s.Status() }
@@ -131,6 +143,12 @@ func (s *Session) Status() SessionStatus {
 		Coasts:     sm.Coasts,
 		Discarded:  sm.Discarded,
 		Anomalies:  sm.Anomalies,
+
+		UptimeSeconds:           time.Since(s.created).Seconds(),
+		LastTelemetryAgeSeconds: -1,
+	}
+	if ns := s.lastIngest.Load(); ns != 0 {
+		st.LastTelemetryAgeSeconds = time.Since(time.Unix(0, ns)).Seconds()
 	}
 	if sm.Level != 0 {
 		st.LevelName = sm.Level.String()
@@ -430,6 +448,77 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		sess.Resume()
 		writeJSON(w, http.StatusOK, map[string]string{"status": "running"})
 	}
+}
+
+// SeriesResponse is the GET /v1/sessions/{id}/series payload: one
+// metric's ring at one resolution, oldest bucket first. A bucket's
+// simulated start time is Index × StepTicks × TickSeconds from session
+// start; Samples is the total appended, so passing it back as ?since=
+// fetches only what arrived in between.
+type SeriesResponse struct {
+	ID          string       `json:"id"`
+	Metric      string       `json:"metric"`
+	Res         string       `json:"res"`
+	StepTicks   int          `json:"step_ticks"`
+	TickSeconds float64      `json:"tick_seconds"`
+	Samples     uint64       `json:"samples"`
+	Buckets     []obs.Bucket `json:"buckets"`
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	if sess.series == nil {
+		writeErr(w, http.StatusNotFound, errors.New("padd: series recording is disabled for this session"))
+		return
+	}
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		metric = SeriesMetrics[0]
+	}
+	ring := sess.series.byName(metric)
+	if ring == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("padd: unknown metric %q (one of %v)", metric, SeriesMetrics))
+		return
+	}
+	res := q.Get("res")
+	if res == "" {
+		res = SeriesResolutions[0]
+	}
+	tier := seriesTier(res)
+	if tier < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("padd: unknown res %q (one of %v)", res, SeriesResolutions))
+		return
+	}
+	since := uint64(0)
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
+			return
+		}
+		since = n
+	}
+	resp := SeriesResponse{
+		ID:          sess.ID(),
+		Metric:      metric,
+		Res:         res,
+		StepTicks:   ring.Tiers()[tier].Step,
+		TickSeconds: sess.st.Tick().Seconds(),
+		Samples:     ring.Len(),
+		Buckets:     ring.Snapshot(tier, since, nil),
+	}
+	if resp.Buckets == nil {
+		resp.Buckets = []obs.Bucket{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Fleet())
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {

@@ -141,6 +141,14 @@ type Session struct {
 
 	events *eventRing
 
+	// series holds the observability rings (nil with DisableSeries);
+	// created is the wall-clock birth time behind uptime_seconds, and
+	// lastIngest the UnixNano of the newest accepted batch (0 before
+	// the first), behind last_telemetry_age_seconds.
+	series     *sessionSeries
+	created    time.Time
+	lastIngest atomic.Int64
+
 	mu   sync.Mutex
 	snap sessionMetrics
 
@@ -157,6 +165,17 @@ type Session struct {
 	coasts    int64
 	discarded int64
 	anomalies int64
+
+	// Executor-confined observability state: the session's current
+	// position in its shard's rollup buckets, the newest tick already
+	// appended to the series rings, and the open CUSUM excursion (if
+	// any) that detection/shed latencies are measured against.
+	rlLevel    int
+	rlMargin   int
+	seriesTick int64
+	excursion  bool
+	onset      time.Duration
+	shedSeen   bool
 }
 
 // newSession builds a session and registers it with its shard's
@@ -195,16 +214,24 @@ func newSession(id string, cfg SessionConfig, sh *shard) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		id:     id,
-		cfg:    cfg,
-		scheme: scheme,
-		st:     st,
-		shard:  sh,
-		queue:  make([]flatBatch, cfg.QueueDepth),
-		paused: cfg.Paused,
-		done:   make(chan struct{}),
-		events: newEventRing(cfg.EventLog),
-		lastU:  make([]float64, st.TotalServers()),
+		id:      id,
+		cfg:     cfg,
+		scheme:  scheme,
+		st:      st,
+		shard:   sh,
+		queue:   make([]flatBatch, cfg.QueueDepth),
+		paused:  cfg.Paused,
+		done:    make(chan struct{}),
+		events:  newEventRing(cfg.EventLog),
+		lastU:   make([]float64, st.TotalServers()),
+		created: time.Now(),
+		// seriesTick guards one series sample per engine tick; -1 admits
+		// tick 0 (a discard-path publish must not desync the index→tick
+		// mapping by appending without an advance).
+		seriesTick: -1,
+	}
+	if !cfg.DisableSeries {
+		s.series = newSessionSeries(st.Tick())
 	}
 	if cfg.MeterInterval.Duration > 0 {
 		m, err := metering.NewMeter(cfg.MeterInterval.Duration, 0, 1)
@@ -217,6 +244,12 @@ func newSession(id string, cfg SessionConfig, sh *shard) (*Session, error) {
 	s.snap.MinSOC = 1
 	s.snap.MeanSOC = 1
 	s.snap.MeanMicroSOC = -1
+	// Register in the shard rollup at the initial position (after the
+	// last fallible step, so an aborted construction never leaks a
+	// bucket); publish moves the counters as the engine changes state,
+	// rollupLeave vacates them on delete.
+	s.rlMargin = marginBucket(0)
+	sh.rollup.join(s.rlLevel, s.rlMargin)
 	s.event(EventCreated, fmt.Sprintf("scheme %s, %d servers, tick %v",
 		scheme.Name(), st.TotalServers(), st.Tick()))
 	if cfg.WallClock {
@@ -302,6 +335,8 @@ func (s *Session) EnqueueFlat(u []float64, samples int) error {
 	paused := s.paused
 	s.qmu.Unlock()
 	s.accepted.Add(int64(samples))
+	s.shard.rollup.samples.Add(int64(samples))
+	s.lastIngest.Store(time.Now().UnixNano())
 	// A paused session holds its queue, so waking a worker would only
 	// no-op; Resume schedules when the pause lifts. (No lost wakeup: a
 	// concurrent Resume that cleared the flag before we read it
@@ -403,7 +438,12 @@ func (s *Session) runSlice() {
 	finalize := s.stopping && s.qcount == 0
 	s.qmu.Unlock()
 	if finalize {
-		s.finishOnce.Do(func() { close(s.done) })
+		s.finishOnce.Do(func() {
+			// An excursion still open at drain time must release the
+			// under-attack gauge; no more ticks will resolve it.
+			s.closeExcursion()
+			close(s.done)
+		})
 	}
 }
 
@@ -579,12 +619,37 @@ func (s *Session) step(u []float64) {
 	}
 	if s.meter != nil {
 		for _, r := range s.meter.Record(ts.TotalGrid, s.st.Tick()) {
-			if s.cusum.Observe(r) {
+			flagged := s.cusum.Observe(r)
+			// An excursion opens the first interval the CUSUM statistic
+			// leaves zero (or flags outright) — the earliest
+			// online-observable onset — anchored at the interval's start.
+			// Detection latency runs onset→flag; the excursion closes on
+			// the flag (the statistic resets) or when it decays to zero.
+			if !s.excursion && (flagged || s.cusum.Sum() > 0) {
+				s.excursion = true
+				s.shedSeen = false
+				s.onset = r.Start
+				s.shard.det.onsets.Add(1)
+				s.shard.rollup.underAttack.Add(1)
+			}
+			if flagged {
 				s.anomalies++
 				s.event(EventAnomaly, fmt.Sprintf("CUSUM flagged interval at %v: %.0f W vs baseline %.0f W",
 					r.Start, float64(r.Avg), float64(s.cusum.Baseline())))
+				s.shard.det.detect.observe(s.st.Now() - s.onset)
+				s.closeExcursion()
+			} else if s.excursion && s.cusum.Sum() == 0 {
+				s.closeExcursion() // decayed without crossing the decision level
 			}
 		}
+	}
+	// Shed latency runs onset→first tick shedding is engaged while the
+	// excursion is open; a shed already holding when the onset opened
+	// counts on the next tick, which is the first the correlation is
+	// observable.
+	if s.excursion && !s.shedSeen && ts.ShedServers > 0 {
+		s.shedSeen = true
+		s.shard.det.shed.observe(s.st.Now() - s.onset)
 	}
 	if s.st.Done() && !s.finished {
 		s.finished = true
@@ -593,9 +658,54 @@ func (s *Session) step(u []float64) {
 	s.publish(elapsed)
 }
 
-// publish refreshes the cross-goroutine snapshot.
+// closeExcursion resolves the open CUSUM excursion (flagged or
+// decayed) and releases the under-attack gauge. Executor-confined.
+func (s *Session) closeExcursion() {
+	if s.excursion {
+		s.excursion = false
+		s.shard.rollup.underAttack.Add(-1)
+	}
+}
+
+// rollupLeave vacates the session's shard-rollup buckets. Called by the
+// manager after Stop has drained the session — the done channel is the
+// happens-before edge that makes reading the executor-confined bucket
+// positions safe.
+func (s *Session) rollupLeave() {
+	r := &s.shard.rollup
+	r.levels[s.rlLevel].Add(-1)
+	r.margin[s.rlMargin].Add(-1)
+}
+
+// publish refreshes the cross-goroutine snapshot, appends the tick to
+// the observability rings and moves the session's shard-rollup buckets.
+// Zero allocations in steady state: the snapshot is copied in place and
+// the rings were sized at creation.
 func (s *Session) publish(elapsed time.Duration) {
 	ts := s.st.Stats()
+	if s.series != nil && int64(ts.Ticks) != s.seriesTick {
+		// One sample per engine tick, so bucket index maps to sim time
+		// (index × step × tick); the discard path republishes without
+		// advancing and must not skew that mapping.
+		s.seriesTick = int64(ts.Ticks)
+		s.series.soc.Append(ts.MeanSOC)
+		s.series.level.Append(float64(ts.Level))
+		s.series.shed.Append(float64(ts.ShedWatts))
+		s.series.margin.Append(float64(ts.BreakerMargin))
+		s.series.queue.Append(float64(s.queueLen()))
+	}
+	if lvl := int(ts.Level); lvl != s.rlLevel {
+		r := &s.shard.rollup
+		r.levels[s.rlLevel].Add(-1)
+		r.levels[lvl].Add(1)
+		s.rlLevel = lvl
+	}
+	if mb := marginBucket(float64(ts.BreakerMargin)); mb != s.rlMargin {
+		r := &s.shard.rollup
+		r.margin[s.rlMargin].Add(-1)
+		r.margin[mb].Add(1)
+		s.rlMargin = mb
+	}
 	s.mu.Lock()
 	s.snap.Ticks = int64(ts.Ticks)
 	s.snap.Now = ts.Now

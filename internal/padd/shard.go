@@ -19,6 +19,12 @@ type shard struct {
 	mu       sync.RWMutex
 	sessions map[string]*Session
 
+	// rollup is this shard's slice of the fleet aggregates; det points
+	// at the manager-wide detection-latency accounting. Both are plain
+	// atomics the executing workers update in place.
+	rollup shardRollup
+	det    *detectionStats
+
 	runMu   sync.Mutex
 	runCond *sync.Cond
 	runq    []*Session
@@ -33,9 +39,10 @@ type shard struct {
 	stopOnce sync.Once
 }
 
-func newShard(workers int) *shard {
+func newShard(workers int, det *detectionStats) *shard {
 	sh := &shard{
 		sessions: make(map[string]*Session),
+		det:      det,
 		wall:     make(map[*Session]time.Time),
 		wcQuit:   make(chan struct{}),
 	}

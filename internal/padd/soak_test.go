@@ -220,6 +220,11 @@ func TestSoakFleet10k(t *testing.T) {
 			Scheme:         schemesCycle[i%len(schemesCycle)],
 			Racks:          racks,
 			ServersPerRack: spr,
+			// A tenth of the fleet keeps series recording on (the soak's
+			// proof that recording never perturbs the ingest invariants);
+			// the rest disable it so 10k sessions' rings don't blow the
+			// -race heap.
+			DisableSeries: i%10 != 0,
 		})
 		if err != nil {
 			t.Fatalf("create %s: %v", ids[i], err)
@@ -443,6 +448,9 @@ func TestSoakFleet10k(t *testing.T) {
 		} else if st.Accepted != samples {
 			t.Errorf("%s: accepted %d samples, want %d", st.ID, st.Accepted, samples)
 		}
+		// The lossless-drain invariant must hold identically for the
+		// recording tenth and the series-disabled rest: observability
+		// rides publish and may never change what counts as a tick.
 		if st.Ticks != st.Accepted+st.Coasts-st.Discarded {
 			t.Errorf("%s: %d ticks from %d accepted (%d coasts, %d discarded)",
 				st.ID, st.Ticks, st.Accepted, st.Coasts, st.Discarded)
@@ -453,6 +461,33 @@ func TestSoakFleet10k(t *testing.T) {
 		if st.QueueDepth != 0 {
 			t.Errorf("%s: %d batches left after drain", st.ID, st.QueueDepth)
 		}
+	}
+
+	// The fleet rollup must account for every resident session exactly
+	// once in each occupancy distribution, and the per-shard sample
+	// counters must sum to at least one frame's worth per session
+	// (stream resends may add more).
+	fs := mgr.Fleet()
+	if fs.Sessions != nSessions {
+		t.Errorf("fleet sessions = %d, want %d", fs.Sessions, nSessions)
+	}
+	var levels, margins, shardSamples, shardSessions int64
+	for _, n := range fs.LevelSessions {
+		levels += n
+	}
+	for _, n := range fs.MarginSessions {
+		margins += n
+	}
+	for _, sh := range fs.Shards {
+		shardSamples += sh.AcceptedSamples
+		shardSessions += int64(sh.Sessions)
+	}
+	if levels != nSessions || margins != nSessions || shardSessions != nSessions {
+		t.Errorf("rollup occupancy: levels=%d margins=%d shardSessions=%d, want %d each",
+			levels, margins, shardSessions, nSessions)
+	}
+	if shardSamples < nSessions*samples {
+		t.Errorf("shard samples = %d, want ≥ %d", shardSamples, nSessions*samples)
 	}
 
 	// The scrape must carry the fleet families with both formats counted.
@@ -468,6 +503,13 @@ func TestSoakFleet10k(t *testing.T) {
 		"padd_ingest_batch_size_count",
 		"padd_stream_connections",
 		"padd_stream_frames_total{result=\"ok\"}",
+		"padd_fleet_level_sessions{level=\"0\"}",
+		"padd_fleet_sessions_under_attack",
+		"padd_fleet_margin_watts{le=\"+Inf\"}",
+		"padd_shard_ingest_samples_total{shard=\"0\"}",
+		"padd_go_goroutines",
+		"padd_go_heap_bytes",
+		"padd_go_gc_pauses_count",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics exposition missing %q", want)
